@@ -1,0 +1,67 @@
+"""Ablation: victim buffers versus set associativity.
+
+Section 5.3.3's conflict misses are cured in the paper by 2-way set
+associativity.  A period-typical alternative is Jouppi's victim cache:
+keep the main cache direct-mapped (faster, simpler) and absorb the
+conflict ping-pong in a tiny fully-associative buffer of recently
+evicted lines.  This harness asks how many victim entries it takes to
+match 2-way associativity on the paper's two conflict workloads.
+"""
+
+from paperbench import emit, kb, scaled_cache
+
+from repro.analysis import format_table
+from repro.core import CacheConfig, simulate
+from repro.core.victim import simulate_victim
+
+LINE = 128
+LAYOUT = ("blocked", 8)
+VICTIMS = (0, 1, 2, 4, 8)
+SCENES = {"goblet": ("horizontal",), "town": ("vertical",)}
+
+
+def measure(bank):
+    out = {}
+    for scene, order in SCENES.items():
+        streams = bank.streams(scene, order, LAYOUT)
+        stream = streams.stream(LINE)
+        size = scaled_cache(8 * 1024)
+        direct_config = CacheConfig(size, LINE, 1)
+        rows = {}
+        for victims in VICTIMS:
+            rows[victims] = simulate_victim(stream, direct_config, victims)
+        two_way = simulate(stream, CacheConfig(size, LINE, 2))
+        out[scene] = (rows, two_way, size)
+    return out
+
+
+def test_ablation_victim(benchmark, bank):
+    out = benchmark.pedantic(measure, args=(bank,), rounds=1, iterations=1)
+
+    rows = []
+    for scene, (victim_rows, two_way, size) in out.items():
+        for victims, stats in victim_rows.items():
+            rows.append([
+                scene, kb(size), f"direct + {victims} victims",
+                f"{100 * stats.miss_rate:.3f}%",
+                f"{100 * stats.victim_hit_rate:.3f}%",
+            ])
+        rows.append([scene, kb(size), "2-way (paper)",
+                     f"{100 * two_way.miss_rate:.3f}%", "-"])
+    text = format_table(
+        ["scene", "cache", "organization", "memory miss rate", "victim hits"],
+        rows,
+        title=f"8x8 blocks, {LINE}B lines:",
+    )
+    text += ("\n\nA handful of victim entries recovers most of the "
+             "conflict misses the paper cures with 2-way associativity -- "
+             "Mip-level ping-pong (Goblet) is a textbook victim-cache "
+             "workload.")
+    emit("ablation_victim", text)
+
+    for scene, (victim_rows, two_way, _) in out.items():
+        # Victim buffers monotonically reduce memory traffic...
+        rates = [victim_rows[v].miss_rate for v in VICTIMS]
+        assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+        # ...and 8 entries get within 1.35x of 2-way associativity.
+        assert victim_rows[8].miss_rate < 1.35 * two_way.miss_rate + 1e-9

@@ -1,0 +1,92 @@
+"""Extension: anisotropic filtering versus the texture cache.
+
+The generation of hardware after the paper added anisotropic filtering
+(up to N trilinear probes along the footprint's major axis).  Each
+probe multiplies texture traffic, so the natural question is whether
+the paper's cache conclusions survive: does the working-set/locality
+structure still absorb the extra fetches, or does anisotropy re-open
+the bandwidth gap the cache closed?
+
+Flight is the stress case: grazing-angle terrain has footprint aspect
+ratios far beyond 1.
+"""
+
+from paperbench import emit, kb, scaled_cache
+
+from repro.analysis import format_table
+from repro.core import CacheConfig, simulate
+from repro.core.bandwidth import mbytes_per_second
+from repro.core.machine import PAPER_MACHINE
+from repro.pipeline.renderer import Renderer
+from repro.raster.order import TiledOrder
+
+SCENE = "flight"
+LAYOUT = ("padded", 8, 4)
+LINE = 128
+ANISO = (1, 2, 4, 8)
+
+
+def measure(bank):
+    scene = bank.scene(SCENE)
+    placements = bank.placements(SCENE, LAYOUT)
+    config = CacheConfig(scaled_cache(32 * 1024), LINE, 2)
+    results = {}
+    for aniso in ANISO:
+        renderer = Renderer(order=TiledOrder(8), produce_image=False,
+                            max_anisotropy=aniso)
+        result = renderer.render(scene)
+        addresses = result.trace.byte_addresses(placements)
+        stats = simulate(addresses, config)
+        results[aniso] = (result, stats)
+    return results
+
+
+def test_aniso(benchmark, bank):
+    results = benchmark.pedantic(measure, args=(bank,), rounds=1, iterations=1)
+
+    base_accesses = results[1][0].n_accesses
+    rows = []
+    for aniso, (render, stats) in results.items():
+        accesses_per_fragment = render.n_accesses / render.n_fragments
+        # Bandwidth at a fixed 50M fragments/s: more texels per
+        # fragment means proportionally more cache accesses per second.
+        fetch_rate = accesses_per_fragment * PAPER_MACHINE.peak_fragments_per_second
+        bandwidth = stats.miss_rate * fetch_rate * LINE
+        rows.append([
+            f"{aniso}x", f"{accesses_per_fragment:.1f}",
+            f"{render.n_accesses / base_accesses:.2f}x",
+            f"{100 * stats.miss_rate:.3f}%",
+            f"{mbytes_per_second(bandwidth):.0f} MB/s",
+        ])
+    text = format_table(
+        ["anisotropy", "texels/fragment", "traffic vs trilinear",
+         "miss rate", "bandwidth @50Mfrag/s"],
+        rows,
+        title=(f"{SCENE}, {kb(scaled_cache(32 * 1024))} 2-way cache, "
+               f"{LINE}B lines, padded 8x8 blocks:"),
+    )
+    uncached_8x = (results[ANISO[-1]][0].n_accesses
+                   / results[ANISO[-1]][0].n_fragments
+                   * PAPER_MACHINE.peak_fragments_per_second * 4)
+    text += (f"\n\nTwo effects: probe overlap is cached (fetches grow "
+             f"{results[ANISO[-1]][0].n_accesses / base_accesses:.1f}x, "
+             "not 8x), but probes also use *finer* mip levels, enlarging "
+             "the working set, so the miss rate creeps up rather than "
+             "down.  The cache still wins decisively: at 8x anisotropy "
+             "an uncached system would need "
+             f"{mbytes_per_second(uncached_8x):.0f} MB/s.")
+    emit("aniso", text)
+
+    iso_stats = results[1][1]
+    top_render, top_stats = results[ANISO[-1]]
+    # Fetches grow substantially at 8x but saturate well below 8x
+    # (most footprints need few probes).
+    assert 1.2 * base_accesses < top_render.n_accesses < 4.0 * base_accesses
+    # Finer mip levels enlarge the working set: miss rate rises, but
+    # only modestly (the probe overlap is absorbed by the cache).
+    assert top_stats.miss_rate < 1.6 * iso_stats.miss_rate
+    # The cached system at 8x stays far below the uncached requirement.
+    top_bandwidth = (top_stats.miss_rate
+                     * top_render.n_accesses / top_render.n_fragments
+                     * PAPER_MACHINE.peak_fragments_per_second * LINE)
+    assert top_bandwidth < 0.7 * uncached_8x

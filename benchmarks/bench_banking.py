@@ -1,0 +1,54 @@
+"""Section 7.1.2: banked-cache access parallelism.
+
+"A conflict-free address distribution which allows up to four texels
+to be accessed in parallel is possible if the texels are stored in a
+morton order within the cache lines."  This harness verifies the claim
+on real filter quads from every scene, against a naive row-major bank
+interleave.
+"""
+
+from paperbench import emit
+
+from repro.analysis import format_table
+from repro.core.banking import analyze_banking
+from repro.scenes import ALL_SCENES
+
+
+def measure(bank):
+    stats = {}
+    for name in ALL_SCENES:
+        trace = bank.trace(name, bank.paper_order_spec(name))
+        width0 = bank.scene(name).get_mipmaps()[0].level_shape(0)[0]
+        stats[name] = {
+            "morton": analyze_banking(trace, "morton"),
+            "linear": analyze_banking(trace, "linear", level0_width=width0),
+        }
+    return stats
+
+
+def test_banking(benchmark, bank):
+    stats = benchmark.pedantic(measure, args=(bank,), rounds=1, iterations=1)
+
+    rows = []
+    for name, entry in stats.items():
+        rows.append([
+            name,
+            f"{100 * entry['morton'].conflict_free_fraction:.1f}%",
+            f"{entry['morton'].mean_cycles_per_quad:.3f}",
+            f"{100 * entry['linear'].conflict_free_fraction:.1f}%",
+            f"{entry['linear'].mean_cycles_per_quad:.3f}",
+        ])
+    text = format_table(
+        ["scene", "morton conflict-free", "morton cycles/quad",
+         "linear conflict-free", "linear cycles/quad"],
+        rows,
+        title="Four-bank cache, one 2x2 filter quad per cycle:",
+    )
+    text += ("\n\nPaper's claim verified: morton interleaving serves every "
+             "quad in one cycle; naive row-major interleaving serializes "
+             "most quads (vertically adjacent texels share a bank).")
+    emit("banking", text)
+
+    for name, entry in stats.items():
+        assert entry["morton"].conflict_free_fraction == 1.0, name
+        assert entry["linear"].conflict_free_fraction < 0.5, name

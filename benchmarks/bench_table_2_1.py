@@ -1,0 +1,70 @@
+"""Table 2.1: computational costs of the fragment generator.
+
+Regenerates the paper's per-phase operation-count table, resolving the
+"texel address calculation" row (which the paper leaves layout-
+dependent) for each memory representation studied in Sections 5-6.
+"""
+
+from paperbench import emit
+
+from repro.analysis import format_table
+from repro.pipeline.costs import PHASE_TABLE, fragment_cost
+from repro.texture.layout import (
+    Blocked6DLayout,
+    BlockedLayout,
+    NonblockedLayout,
+    PaddedBlockedLayout,
+    WilliamsLayout,
+)
+
+LAYOUTS = [
+    NonblockedLayout(),
+    BlockedLayout(8),
+    PaddedBlockedLayout(8, pad_blocks=4),
+    Blocked6DLayout(8, superblock_nbytes=32 * 1024),
+    WilliamsLayout(),
+]
+
+
+def build_tables():
+    phase_rows = [
+        [name, ops.adds, ops.shifts, ops.multiplies, ops.divides,
+         ops.memory_accesses or "-"]
+        for name, ops in PHASE_TABLE.items()
+    ]
+    layout_rows = []
+    for layout in LAYOUTS:
+        cost = layout.addressing_cost()
+        per_fragment = fragment_cost(layout)
+        layout_rows.append([
+            layout.name, cost.adds, cost.shifts, cost.const_shifts,
+            cost.accesses_per_texel, per_fragment.adds, per_fragment.total_ops,
+        ])
+    return phase_rows, layout_rows
+
+
+def test_table_2_1(benchmark):
+    phase_rows, layout_rows = benchmark.pedantic(build_tables, rounds=1,
+                                                 iterations=1)
+    text = format_table(
+        ["phase", "add/sub", "shift", "mult", "div", "mem accesses"],
+        phase_rows,
+        title="Per-phase costs (per fragment; setup per triangle):",
+    )
+    text += "\n\n" + format_table(
+        ["representation", "adds/texel", "var shifts", "const shifts",
+         "accesses/texel", "frag adds", "frag total ops"],
+        layout_rows,
+        title="Texel address calculation by memory representation:",
+    )
+    text += ("\n\nPaper: blocked costs two additions over the base\n"
+             "representation; padding one more; 6D blocking two more\n"
+             "(Sections 5.3.1, 6.2).")
+    emit("table_2_1", text)
+
+    # Guard the paper's stated overheads.
+    costs = {layout.name: layout.addressing_cost() for layout in LAYOUTS}
+    base = costs["nonblocked"].adds
+    assert costs["blocked8x8"].adds == base + 2
+    assert costs["padded8x8+4"].adds == base + 3
+    assert costs[LAYOUTS[3].name].adds == base + 4

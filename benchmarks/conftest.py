@@ -1,0 +1,17 @@
+"""Pytest wiring for the benchmark harnesses."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from paperbench import SceneBank  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def bank():
+    """One SceneBank per benchmark session: renders are shared across
+    every table/figure harness."""
+    return SceneBank()

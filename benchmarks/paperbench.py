@@ -1,0 +1,147 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every file in this directory regenerates one of the paper's tables or
+figures.  Rendering a scene is expensive, so a session-scoped
+:class:`SceneBank` caches rendered traces per (scene, traversal order)
+and byte-address streams per (scene, order, layout); stack-distance
+profiles are cached inside :class:`repro.core.TraceStreams`.
+
+Scale: ``REPRO_SCALE`` (default 0.25) scales the scenes as described in
+DESIGN.md; cache sizes quoted from the paper are scaled linearly with
+the same factor (working sets scale with the scan-line texel span), so
+"32 KB" at scale 0.25 is benchmarked as 8 KB.  Every harness prints the
+paper's published numbers next to the measured ones and writes the
+table to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    ALL_SCENES,
+    TraceStreams,
+    make_layout,
+    make_order,
+    place_textures,
+    render_trace,
+)
+
+#: Reproduction scale (1.0 = the paper's resolutions).
+SCALE = float(os.environ.get("REPRO_SCALE", "0.25"))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def scaled_cache(paper_bytes: int) -> int:
+    """Scale a paper cache size, rounding to a power of two.
+
+    Working sets scale roughly linearly with the reproduction scale
+    (scan-line texel span x line size), so cache capacities quoted from
+    the paper are scaled by the same factor.
+    """
+    target = max(paper_bytes * SCALE, 512)
+    exponent = int(round(np.log2(target)))
+    return 1 << exponent
+
+
+def kb(nbytes: int) -> str:
+    """Format a byte count the way the paper labels cache sizes."""
+    if nbytes >= 1024:
+        return f"{nbytes // 1024}KB"
+    return f"{nbytes}B"
+
+
+def order_from_spec(spec):
+    """Build a TraversalOrder from a hashable spec tuple.
+
+    ``("horizontal",)``, ``("vertical",)``, ``("tiled", 8)``,
+    ``("tiled", 8, "col", "col")``, ``("hilbert", 11)``.
+    """
+    name = spec[0]
+    if name == "tiled":
+        kwargs = {"tile_w": spec[1]}
+        if len(spec) > 2:
+            kwargs["within"] = spec[2]
+            kwargs["across"] = spec[3]
+        return make_order("tiled", **kwargs)
+    if name == "hilbert":
+        return make_order("hilbert", order_bits=spec[1])
+    return make_order(name)
+
+
+def layout_from_spec(spec):
+    """Build a TextureLayout from a hashable spec tuple.
+
+    ``("nonblocked",)``, ``("blocked", 8)``, ``("padded", 8, 4)``,
+    ``("blocked6d", 8, 32768)``, ``("williams",)``.
+    """
+    name = spec[0]
+    if name == "blocked":
+        return make_layout("blocked", block_w=spec[1])
+    if name == "padded":
+        return make_layout("padded", block_w=spec[1], pad_blocks=spec[2])
+    if name == "blocked6d":
+        return make_layout("blocked6d", block_w=spec[1], superblock_nbytes=spec[2])
+    return make_layout(name)
+
+
+class SceneBank:
+    """Session-wide cache of scenes, traces, placements and streams."""
+
+    def __init__(self, scale: float = SCALE):
+        self.scale = scale
+        self._scenes = {}
+        self._results = {}
+        self._placements = {}
+        self._streams = {}
+
+    def scene(self, name: str):
+        if name not in self._scenes:
+            self._scenes[name] = ALL_SCENES[name]().build(scale=self.scale)
+        return self._scenes[name]
+
+    def paper_order_spec(self, name: str) -> tuple:
+        """The rasterization direction the paper reports for a scene."""
+        return (self.scene(name).paper_rasterization,)
+
+    def render(self, name: str, order_spec: tuple):
+        """RenderResult for (scene, order), cached."""
+        key = (name, order_spec)
+        if key not in self._results:
+            order = order_from_spec(order_spec)
+            self._results[key] = render_trace(self.scene(name), order=order)
+        return self._results[key]
+
+    def trace(self, name: str, order_spec: tuple):
+        return self.render(name, order_spec).trace
+
+    def placements(self, name: str, layout_spec: tuple):
+        key = (name, layout_spec)
+        if key not in self._placements:
+            layout = layout_from_spec(layout_spec)
+            self._placements[key] = place_textures(
+                self.scene(name).get_mipmaps(), layout)
+        return self._placements[key]
+
+    def streams(self, name: str, order_spec: tuple, layout_spec: tuple) -> TraceStreams:
+        """Byte-address TraceStreams for (scene, order, layout), cached
+        together with its per-line-size collapsed streams/profiles."""
+        key = (name, order_spec, layout_spec)
+        if key not in self._streams:
+            addresses = self.trace(name, order_spec).byte_addresses(
+                self.placements(name, layout_spec))
+            self._streams[key] = TraceStreams(addresses)
+        return self._streams[key]
+
+
+def emit(experiment: str, text: str) -> None:
+    """Print a harness's output and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"\n=== {experiment} (scale={SCALE}) ===\n"
+    print(banner + text)
+    path = RESULTS_DIR / f"{experiment}.txt"
+    path.write_text(banner + text + "\n")

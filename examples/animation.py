@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Render an animation and study inter-frame cache behaviour.
+
+Renders several consecutive frames of an animated benchmark scene
+(30 fps camera motion), writes them as PNGs, and measures how much a
+texture cache retained between frames would help -- the paper's
+Section 3.1.2 premise that working-set-sized caches cannot exploit
+inter-frame locality, while frame-footprint-sized memories can.
+
+Run:  python examples/animation.py [scene] [n_frames] [scale]
+"""
+
+import sys
+
+from repro import CacheConfig, Renderer, TiledOrder, make_scene, place_textures
+from repro.analysis import format_table
+from repro.core.cache import simulate_sequence
+from repro.texture import PaddedBlockedLayout
+
+
+def main() -> None:
+    scene_name = sys.argv[1] if len(sys.argv) > 1 else "goblet"
+    n_frames = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    scale = float(sys.argv[3]) if len(sys.argv) > 3 else 0.2
+
+    generator = make_scene(scene_name)
+    renderer = Renderer(order=TiledOrder(8), produce_image=True)
+    layout = PaddedBlockedLayout(4, pad_blocks=4)
+
+    placements = None
+    segments = []
+    for frame in range(n_frames):
+        scene = generator.build(scale=scale, time=frame / 30.0)
+        result = renderer.render(scene)
+        path = f"{scene_name}_{frame:02d}.png"
+        result.framebuffer.to_png(path)
+        if placements is None:
+            placements = place_textures(scene.get_mipmaps(), layout)
+        segments.append(result.trace.byte_addresses(placements))
+        print(f"frame {frame}: {result.n_fragments:,} fragments -> {path}")
+
+    texture_bytes = sum(p.total_nbytes for p in placements)
+    rows = []
+    for label, size in [("working-set cache", 8 * 1024),
+                        ("frame-footprint cache",
+                         1 << (texture_bytes - 1).bit_length())]:
+        config = CacheConfig(size, 64, None)
+        warm = simulate_sequence(segments, config)
+        rows.append([label, f"{size // 1024}KB"]
+                    + [f"{100 * s.miss_rate:.3f}%" for s in warm])
+    print(format_table(
+        ["cache", "size"] + [f"frame {i}" for i in range(n_frames)],
+        rows,
+        title="\nMiss rate per frame with the cache kept warm between frames:",
+    ))
+    print("\nThe small cache's miss rate never improves after frame 0 "
+          "(no inter-frame reuse fits); the big one drops to near zero "
+          "-- the paper's memory-vs-disk distinction.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Parallel texture caching (paper Section 8's open question).
+
+Splits a frame across multiple fragment generators, each with a private
+texture cache over one shared texture memory (no replication, unlike
+the RealityEngine), and shows the balance-versus-locality trade-off of
+different work distributions.
+
+Run:  python examples/parallel_generators.py [scene] [scale]
+"""
+
+import sys
+
+from repro import CacheConfig, Renderer, TiledOrder, make_scene, place_textures
+from repro.analysis import format_table
+from repro.core.parallel import (
+    ScanlineInterleave,
+    StripSplit,
+    TileInterleave,
+    simulate_parallel,
+)
+from repro.texture import PaddedBlockedLayout
+
+
+def main() -> None:
+    scene_name = sys.argv[1] if len(sys.argv) > 1 else "town"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+
+    scene = make_scene(scene_name).build(scale=scale)
+    renderer = Renderer(order=TiledOrder(8), produce_image=False,
+                        record_positions=True)
+    trace = renderer.render(scene).trace
+    placements = place_textures(scene.get_mipmaps(),
+                                PaddedBlockedLayout(4, pad_blocks=4))
+    config = CacheConfig(size=8 * 1024, line_size=64, assoc=2)
+
+    rows = []
+    for n in (2, 4, 8):
+        for distribution in (ScanlineInterleave(n),
+                             TileInterleave(n, tile=8),
+                             TileInterleave(n, tile=32),
+                             StripSplit(n, height=scene.height)):
+            stats = simulate_parallel(trace, placements, distribution, config)
+            rows.append([
+                n, distribution.name,
+                f"{100 * stats.aggregate_miss_rate:.3f}%",
+                f"{stats.redundancy:.2f}x",
+                f"{stats.load_imbalance:.2f}x",
+                f"{stats.shared_memory_bandwidth() / 2**20:.0f} MB/s",
+            ])
+    print(format_table(
+        ["generators", "distribution", "miss rate", "data fetched redundantly",
+         "load imbalance", "shared-memory bandwidth"],
+        rows,
+        title=(f"{scene_name}: private {config.label()} caches, shared "
+               "texture memory, every generator at 50M fragments/s"),
+    ))
+    print("\nFiner interleaving balances load but fragments each cache's "
+          "spatial locality; strips keep locality but can idle "
+          "generators. Medium tiles are the compromise GPUs settled on.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Tune the tiled rasterization order (paper Section 6).
+
+Sweeps screen-space tile sizes for a chosen scene and shows how the
+tile dimensions trade off against cache size -- reproducing the
+Figure 6.2 experiment interactively, plus the Hilbert-curve traversal
+the paper's footnote 1 conjectures is optimal.
+
+Run:  python examples/tile_tuning.py [scene] [scale]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (
+    BlockedLayout,
+    HilbertOrder,
+    HorizontalOrder,
+    TiledOrder,
+    make_scene,
+    miss_rate_curve,
+    place_textures,
+    render_trace,
+)
+from repro.analysis import format_table
+
+
+def main() -> None:
+    scene_name = sys.argv[1] if len(sys.argv) > 1 else "guitar"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+
+    scene = make_scene(scene_name).build(scale=scale)
+    placements = place_textures(scene.get_mipmaps(), BlockedLayout(8))
+    hilbert_bits = int(np.ceil(np.log2(max(scene.width, scene.height))))
+
+    orders = [HorizontalOrder()]
+    orders += [TiledOrder(t) for t in (2, 4, 8, 16, 32, 64)]
+    orders.append(HilbertOrder(hilbert_bits))
+
+    cache_sizes = [512, 1024, 2048, 4096, 8192]
+    line_size = 128
+    rows = []
+    for order in orders:
+        result = render_trace(scene, order=order)
+        addresses = result.trace.byte_addresses(placements)
+        curve = miss_rate_curve(addresses, line_size, cache_sizes)
+        rows.append([order.name] + [f"{100 * r:.2f}%" for r in curve.miss_rates])
+
+    headers = ["order"] + [f"{s // 1024 or s}{'KB' if s >= 1024 else 'B'}"
+                           for s in cache_sizes]
+    print(format_table(
+        headers, rows,
+        title=(f"{scene_name} at {scene.width}x{scene.height}: miss rate vs "
+               f"cache size (blocked 8x8, {line_size}B lines, fully assoc)")))
+    print("\nMedium tiles minimize the working set for scenes with large "
+          "triangles; tiny and huge tiles converge to the nontiled order.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Trace analytics: locality metrics, working-set detection, report
+formatting."""
+
+from .metrics import (
+    AccessesPerTexel,
+    accesses_per_texel,
+    level_histogram,
+    mean_texture_runlength,
+    repetition_factor,
+    texture_runlengths,
+)
+from .workingset import WorkingSet, first_working_set, worst_case_working_set
+from .report import format_percent, format_series, format_table
+from .plots import ascii_chart, miss_rate_chart
+
+__all__ = [
+    "AccessesPerTexel",
+    "accesses_per_texel",
+    "repetition_factor",
+    "texture_runlengths",
+    "mean_texture_runlength",
+    "level_histogram",
+    "WorkingSet",
+    "first_working_set",
+    "worst_case_working_set",
+    "format_table",
+    "format_percent",
+    "format_series",
+    "ascii_chart",
+    "miss_rate_chart",
+]

@@ -1,0 +1,137 @@
+"""Terminal line charts for the paper's figures.
+
+The paper's results are line charts (miss rate versus cache size, tile
+size, line size...).  :func:`ascii_chart` renders multi-series charts
+in plain text so benchmark harnesses and examples can show the *shape*
+of each reproduced figure directly in the terminal and in the archived
+``benchmarks/results/`` files.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+#: Glyphs assigned to series in order.
+SERIES_GLYPHS = "ox*+#@%&"
+
+
+def _transform(values, log: bool):
+    if log:
+        return [math.log10(max(v, 1e-12)) for v in values]
+    return list(values)
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1024 and abs(value) % 1024 == 0:
+        return f"{int(value) // 1024}K"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    if abs(value) >= 1:
+        return f"{value:.3g}"
+    return f"{value:.2g}"
+
+
+def ascii_chart(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = True,
+    log_y: bool = True,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = None,
+) -> str:
+    """Render ``{name: (xs, ys)}`` as a text line chart.
+
+    Marker glyphs are assigned per series in insertion order; points
+    that land on the same cell show the later series' glyph.  Axes are
+    log-scaled by default (the paper's figures use log cache-size
+    axes and near-log miss-rate spreads).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r} has mismatched x/y lengths")
+        if len(xs) == 0:
+            raise ValueError(f"series {name!r} is empty")
+    if width < 16 or height < 4:
+        raise ValueError("chart too small")
+
+    all_x = [x for xs, _ in series.values() for x in xs]
+    all_y = [y for _, ys in series.values() for y in ys]
+    tx = _transform(all_x, log_x)
+    ty = _transform(all_y, log_y)
+    x_min, x_max = min(tx), max(tx)
+    y_min, y_max = min(ty), max(ty)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, (xs, ys)) in enumerate(series.items()):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        txs = _transform(xs, log_x)
+        tys = _transform(ys, log_y)
+        previous = None
+        for px, py in zip(txs, tys):
+            col = round((px - x_min) / x_span * (width - 1))
+            row = height - 1 - round((py - y_min) / y_span * (height - 1))
+            if previous is not None:
+                _draw_segment(grid, previous, (row, col), glyph)
+            grid[row][col] = glyph
+            previous = (row, col)
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_tick = _format_tick(max(all_y))
+    bottom_tick = _format_tick(min(all_y))
+    margin = max(len(top_tick), len(bottom_tick), len(y_label)) + 1
+    lines.append(f"{y_label.rjust(margin)}")
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_tick.rjust(margin)
+        elif row_index == height - 1:
+            prefix = bottom_tick.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    left_tick = _format_tick(min(all_x))
+    right_tick = _format_tick(max(all_x))
+    axis = left_tick.ljust(width - len(right_tick)) + right_tick
+    lines.append(" " * (margin + 1) + axis + f"  ({x_label})")
+    legend = "   ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)
+
+
+def _draw_segment(grid, start, end, glyph) -> None:
+    """Sparse interpolation between consecutive points with '.' dots."""
+    row0, col0 = start
+    row1, col1 = end
+    steps = max(abs(row1 - row0), abs(col1 - col0))
+    for step in range(1, steps):
+        row = round(row0 + (row1 - row0) * step / steps)
+        col = round(col0 + (col1 - col0) * step / steps)
+        if grid[row][col] == " ":
+            grid[row][col] = "."
+
+
+def miss_rate_chart(curves: dict, title: str = None, width: int = 64,
+                    height: int = 16) -> str:
+    """Chart :class:`~repro.core.stackdist.MissRateCurve` objects, the
+    shape of the paper's miss-rate figures (percent on a log axis)."""
+    series = {
+        name: (curve.sizes.tolist(),
+               [100 * rate for rate in curve.miss_rates.tolist()])
+        for name, curve in curves.items()
+    }
+    return ascii_chart(series, width=width, height=height,
+                       x_label="cache bytes", y_label="miss %", title=title)

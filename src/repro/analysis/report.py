@@ -1,0 +1,50 @@
+"""Plain-text table formatting used by every benchmark harness.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep the output aligned and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = None) -> str:
+    """Render an aligned fixed-width table."""
+    rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) < 0.01:
+            return f"{value:.4f}"
+        if abs(value) < 10:
+            return f"{value:.2f}"
+        return f"{value:.1f}"
+    return str(value)
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def format_series(label: str, xs, ys, x_name: str = "x", y_name: str = "y") -> str:
+    """Render one curve as the series a figure would plot."""
+    pairs = "  ".join(f"{_cell(x)}:{_cell(y)}" for x, y in zip(xs, ys))
+    return f"{label} [{x_name} -> {y_name}]  {pairs}"

@@ -1,0 +1,83 @@
+"""Working-set analysis (paper Section 5.2.3).
+
+"In a graph of miss rate versus cache size, the different levels of the
+working set hierarchy can be seen as plateaus followed by sharp
+reductions in miss rate at particular cache sizes."  We detect the
+*first significant working set* as the cache size after the largest
+relative drop in the measured miss-rate curve, and provide the paper's
+worst-case working-set bound for sanity checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.stackdist import MissRateCurve
+
+
+@dataclass
+class WorkingSet:
+    """The detected first significant working set."""
+
+    size: int
+    miss_rate_before: float
+    miss_rate_after: float
+
+    @property
+    def drop_ratio(self) -> float:
+        if self.miss_rate_after == 0.0:
+            return float("inf")
+        return self.miss_rate_before / self.miss_rate_after
+
+
+def first_working_set(curve: MissRateCurve, min_drop: float = 1.3) -> WorkingSet:
+    """Find the first significant knee of a miss-rate curve.
+
+    Scans cache sizes in increasing order and returns the first size
+    whose miss rate improves on the previous size by at least
+    ``min_drop``x and lands within 2x of the curve's floor -- i.e. the
+    smallest cache that has captured the dominant working set.  Falls
+    back to the largest relative drop when no size qualifies.
+    """
+    sizes = curve.sizes
+    rates = np.maximum(curve.miss_rates, 1e-12)
+    floor = rates.min()
+    best_index = None
+    best_drop = 0.0
+    for index in range(1, len(sizes)):
+        drop = rates[index - 1] / rates[index]
+        if drop >= min_drop and rates[index] <= 2.0 * floor:
+            best_index = index
+            break
+        if drop > best_drop:
+            best_drop = drop
+            best_index = index
+    if best_index is None:
+        best_index = len(sizes) - 1
+    return WorkingSet(
+        size=int(sizes[best_index]),
+        miss_rate_before=float(rates[best_index - 1]) if best_index else float(rates[0]),
+        miss_rate_after=float(rates[best_index]),
+    )
+
+
+def worst_case_working_set(
+    line_size: int,
+    texture_width: int,
+    texture_height: int,
+    screen_width: int,
+    screen_height: int,
+) -> int:
+    """The paper's worst-case bound on the first working set.
+
+    If the texture is smaller than the screen, the bound is the line
+    size times the texture diagonal (the longest path through a
+    wrapped texture at arbitrary orientation); otherwise it is the line
+    size times the larger screen dimension (a full scan line).
+    """
+    if texture_width < screen_width or texture_height < screen_height:
+        diagonal = int(np.ceil(np.hypot(texture_width, texture_height)))
+        return line_size * diagonal
+    return line_size * max(screen_width, screen_height)

@@ -1,0 +1,339 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``render``
+    Render a benchmark scene to a PNG/PPM and print trace statistics.
+``simulate``
+    Render (or reuse) a scene and simulate one cache configuration;
+    prints miss breakdown and memory bandwidth.
+``sweep``
+    Print a miss-rate curve along one axis (cache size, line size,
+    associativity, or screen tile size).
+``scenes``
+    List the benchmark scenes and their headline characteristics.
+``costs``
+    Print the Table 2.1 fragment-generator cost model for a layout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis import format_table
+from .core import (
+    CacheConfig,
+    PAPER_CACHE_SIZES,
+    cached_bandwidth,
+    classify_misses,
+    mbytes_per_second,
+    miss_rate_curve,
+    simulate,
+    uncached_bandwidth,
+)
+from .pipeline import Renderer, fragment_cost
+from .pipeline.costs import PHASE_TABLE
+from .raster import make_order
+from .scenes import ALL_SCENES, make_scene
+from .texture import make_layout, place_textures
+
+
+def _add_scene_arguments(parser):
+    parser.add_argument("scene", choices=sorted(ALL_SCENES),
+                        help="benchmark scene")
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="reproduction scale (1.0 = paper resolution)")
+    parser.add_argument("--time", type=float, default=0.0,
+                        help="animation time in seconds")
+    parser.add_argument("--order", default="paper",
+                        choices=["paper", "horizontal", "vertical", "tiled", "hilbert"],
+                        help="rasterization order (paper = the direction the "
+                             "paper reports for this scene)")
+    parser.add_argument("--tile", type=int, default=8,
+                        help="tile size for --order tiled")
+    parser.add_argument("--aniso", type=int, default=1,
+                        help="max anisotropy (1 = trilinear)")
+    parser.add_argument("--lod-bias", type=float, default=0.0,
+                        help="level-of-detail bias (+1 = coarser mips)")
+    parser.add_argument("--no-mipmaps", action="store_true",
+                        help="GL_LINEAR ablation: bilinear from level 0")
+
+
+def _add_layout_arguments(parser):
+    parser.add_argument("--layout", default="padded",
+                        choices=["nonblocked", "blocked", "padded", "blocked6d",
+                                 "williams"],
+                        help="texture memory representation")
+    parser.add_argument("--block", type=int, default=4,
+                        help="block dimension in texels for blocked layouts")
+    parser.add_argument("--pad", type=int, default=4,
+                        help="pad blocks per row for the padded layout")
+
+
+def _build_order(args, scene_data):
+    if args.order == "paper":
+        return make_order(scene_data.paper_rasterization)
+    if args.order == "tiled":
+        return make_order("tiled", tile_w=args.tile)
+    if args.order == "hilbert":
+        bits = int(np.ceil(np.log2(max(scene_data.width, scene_data.height))))
+        return make_order("hilbert", order_bits=bits)
+    return make_order(args.order)
+
+
+def _build_layout(args, cache_size: int = 32 * 1024):
+    if args.layout == "blocked":
+        return make_layout("blocked", block_w=args.block)
+    if args.layout == "padded":
+        return make_layout("padded", block_w=args.block, pad_blocks=args.pad)
+    if args.layout == "blocked6d":
+        return make_layout("blocked6d", block_w=args.block,
+                           superblock_nbytes=cache_size)
+    return make_layout(args.layout)
+
+
+def _render(args) -> int:
+    scene = make_scene(args.scene).build(scale=args.scale, time=args.time)
+    order = _build_order(args, scene)
+    renderer = Renderer(order=order, produce_image=args.out is not None,
+                        max_anisotropy=args.aniso, lod_bias=args.lod_bias,
+                        use_mipmaps=not args.no_mipmaps)
+    result = renderer.render(scene)
+    if args.out:
+        if args.out.endswith(".ppm"):
+            result.framebuffer.to_ppm(args.out)
+        else:
+            result.framebuffer.to_png(args.out)
+        print(f"wrote {args.out}")
+    if args.save_trace:
+        from .pipeline.traceio import save_trace
+        save_trace(args.save_trace, result.trace)
+        print(f"wrote {args.save_trace}")
+    print(f"{scene.name}: {scene.width}x{scene.height}, "
+          f"{result.n_triangles_rasterized}/{result.n_triangles_submitted} "
+          f"triangles rasterized, {result.n_fragments:,} fragments, "
+          f"{result.n_accesses:,} texel fetches ({order.name} order)")
+    return 0
+
+
+def _simulate(args) -> int:
+    scene = make_scene(args.scene).build(scale=args.scale, time=args.time)
+    order = _build_order(args, scene)
+    result = Renderer(order=order, produce_image=False,
+                      max_anisotropy=args.aniso, lod_bias=args.lod_bias,
+                      use_mipmaps=not args.no_mipmaps).render(scene)
+    layout = _build_layout(args, cache_size=args.cache_size)
+    placements = place_textures(scene.get_mipmaps(), layout)
+    addresses = result.trace.byte_addresses(placements)
+    config = CacheConfig(args.cache_size, args.line_size,
+                         None if args.assoc == 0 else args.assoc)
+    stats = classify_misses(addresses, config)
+    bandwidth = cached_bandwidth(stats.miss_rate, args.line_size)
+    print(f"{scene.name} / {layout.name} / {order.name} / {config.label()}")
+    print(f"  accesses        {stats.accesses:,}")
+    print(f"  miss rate       {100 * stats.miss_rate:.3f}%")
+    print(f"  cold misses     {stats.cold_misses:,}")
+    print(f"  capacity misses {stats.capacity_misses:,}")
+    print(f"  conflict misses {stats.conflict_misses:,}")
+    print(f"  bandwidth       {mbytes_per_second(bandwidth):.0f} MB/s at 50M "
+          f"fragments/s ({uncached_bandwidth() / max(bandwidth, 1e-9):.1f}x "
+          "less than uncached)")
+    return 0
+
+
+def _sweep(args) -> int:
+    scene = make_scene(args.scene).build(scale=args.scale, time=args.time)
+    order = _build_order(args, scene)
+    result = Renderer(order=order, produce_image=False).render(scene)
+    layout = _build_layout(args)
+    placements = place_textures(scene.get_mipmaps(), layout)
+    addresses = result.trace.byte_addresses(placements)
+
+    if args.axis == "cache":
+        curve = miss_rate_curve(addresses, args.line_size, PAPER_CACHE_SIZES)
+        rows = [[f"{int(s) // 1024}KB", f"{100 * r:.3f}%"]
+                for s, r in zip(curve.sizes, curve.miss_rates)]
+        print(format_table(["cache size", "miss rate"], rows,
+                           title=f"{scene.name}, {layout.name}, fully associative, "
+                                 f"{args.line_size}B lines"))
+    elif args.axis == "line":
+        rows = []
+        for line in (16, 32, 64, 128, 256):
+            curve = miss_rate_curve(addresses, line, [args.cache_size])
+            rows.append([f"{line}B", f"{100 * curve.miss_rates[0]:.3f}%"])
+        print(format_table(["line size", "miss rate"], rows,
+                           title=f"{scene.name}, {layout.name}, "
+                                 f"{args.cache_size // 1024}KB fully associative"))
+    else:  # assoc
+        rows = []
+        for assoc in (1, 2, 4, 8, None):
+            config = CacheConfig(args.cache_size, args.line_size, assoc)
+            stats = simulate(addresses, config)
+            label = "full" if assoc is None else f"{assoc}-way"
+            rows.append([label, f"{100 * stats.miss_rate:.3f}%"])
+        print(format_table(["associativity", "miss rate"], rows,
+                           title=f"{scene.name}, {layout.name}, "
+                                 f"{args.cache_size // 1024}KB, "
+                                 f"{args.line_size}B lines"))
+    return 0
+
+
+def _parallel(args) -> int:
+    from .core.parallel import (
+        ScanlineInterleave, StripSplit, TileInterleave, simulate_parallel,
+    )
+    scene = make_scene(args.scene).build(scale=args.scale, time=args.time)
+    order = _build_order(args, scene)
+    renderer = Renderer(order=order, produce_image=False, record_positions=True)
+    trace = renderer.render(scene).trace
+    layout = _build_layout(args, cache_size=args.cache_size)
+    placements = place_textures(scene.get_mipmaps(), layout)
+    config = CacheConfig(args.cache_size, args.line_size, 2)
+    rows = []
+    for distribution in (ScanlineInterleave(args.generators),
+                         TileInterleave(args.generators, tile=8),
+                         TileInterleave(args.generators, tile=32),
+                         StripSplit(args.generators, height=scene.height)):
+        stats = simulate_parallel(trace, placements, distribution, config)
+        rows.append([
+            distribution.name,
+            f"{100 * stats.aggregate_miss_rate:.3f}%",
+            f"{stats.redundancy:.2f}x",
+            f"{stats.load_imbalance:.2f}x",
+            f"{stats.shared_memory_bandwidth() / 2**20:.0f} MB/s",
+        ])
+    print(format_table(
+        ["distribution", "miss rate", "redundancy", "imbalance", "shared BW"],
+        rows,
+        title=(f"{scene.name}: {args.generators} generators, private "
+               f"{config.label()} caches"),
+    ))
+    return 0
+
+
+def _hierarchy(args) -> int:
+    from .core.hierarchy import hierarchy_bandwidths, simulate_hierarchy
+    from .core.machine import PAPER_MACHINE
+    scene = make_scene(args.scene).build(scale=args.scale, time=args.time)
+    order = _build_order(args, scene)
+    result = Renderer(order=order, produce_image=False).render(scene)
+    layout = _build_layout(args, cache_size=args.l2_size)
+    placements = place_textures(scene.get_mipmaps(), layout)
+    addresses = result.trace.byte_addresses(placements)
+    configs = [CacheConfig(args.l1_size, 32, 2),
+               CacheConfig(args.l2_size, args.line_size, 2)]
+    stats = simulate_hierarchy(addresses, configs)
+    bandwidths = hierarchy_bandwidths(stats, PAPER_MACHINE)
+    print(f"{scene.name} / {layout.name} / L1 {configs[0].label()} "
+          f"+ L2 {configs[1].label()}")
+    for level, (level_stats, bandwidth) in enumerate(zip(stats.levels, bandwidths)):
+        boundary = "DRAM" if level == len(bandwidths) - 1 else f"L{level + 2}"
+        print(f"  L{level + 1}: local miss {100 * level_stats.miss_rate:.3f}%  "
+              f"-> {boundary} traffic {bandwidth / 2**20:.0f} MB/s")
+    print(f"  memory miss rate {100 * stats.memory_miss_rate:.3f}% of all accesses")
+    return 0
+
+
+def _scenes(args) -> int:
+    rows = []
+    for name, cls in ALL_SCENES.items():
+        rows.append([
+            name,
+            f"{cls.paper_width}x{cls.paper_height}",
+            cls.paper_rasterization,
+            cls.__doc__.strip().splitlines()[0],
+        ])
+    print(format_table(["scene", "paper resolution", "paper order", "description"],
+                       rows, title="Benchmark scenes (paper Table 4.1):"))
+    return 0
+
+
+def _costs(args) -> int:
+    rows = [
+        [name, ops.adds, ops.shifts, ops.multiplies, ops.divides,
+         ops.memory_accesses or "-"]
+        for name, ops in PHASE_TABLE.items()
+    ]
+    print(format_table(
+        ["phase", "add/sub", "shift", "mult", "div", "mem accesses"],
+        rows, title="Table 2.1: fragment generator costs"))
+    layout = _build_layout(args)
+    total = fragment_cost(layout)
+    print(f"\nper-fragment total with {layout.name} addressing: "
+          f"{total.adds} adds, {total.shifts} shifts, {total.multiplies} mults, "
+          f"{total.memory_accesses} texel fetches")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Texture cache architecture reproduction "
+                    "(Hakura & Gupta, ISCA 1997)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    render = subparsers.add_parser("render", help="render a scene to an image")
+    _add_scene_arguments(render)
+    render.add_argument("--out", default=None, help="output .png or .ppm path")
+    render.add_argument("--save-trace", default=None,
+                        help="also save the texel trace (.trace.npz)")
+    render.set_defaults(func=_render)
+
+    sim = subparsers.add_parser("simulate", help="simulate one cache config")
+    _add_scene_arguments(sim)
+    _add_layout_arguments(sim)
+    sim.add_argument("--cache-size", type=int, default=32 * 1024)
+    sim.add_argument("--line-size", type=int, default=64)
+    sim.add_argument("--assoc", type=int, default=2,
+                     help="ways per set; 0 = fully associative")
+    sim.set_defaults(func=_simulate)
+
+    sweep = subparsers.add_parser("sweep", help="sweep one cache axis")
+    _add_scene_arguments(sweep)
+    _add_layout_arguments(sweep)
+    sweep.add_argument("--axis", choices=["cache", "line", "assoc"],
+                       default="cache")
+    sweep.add_argument("--cache-size", type=int, default=32 * 1024)
+    sweep.add_argument("--line-size", type=int, default=64)
+    sweep.set_defaults(func=_sweep)
+
+    parallel = subparsers.add_parser(
+        "parallel", help="multi-generator caching study (Section 8)")
+    _add_scene_arguments(parallel)
+    _add_layout_arguments(parallel)
+    parallel.add_argument("--generators", type=int, default=4)
+    parallel.add_argument("--cache-size", type=int, default=8 * 1024)
+    parallel.add_argument("--line-size", type=int, default=64)
+    parallel.set_defaults(func=_parallel)
+
+    hierarchy = subparsers.add_parser(
+        "hierarchy", help="two-level cache hierarchy study")
+    _add_scene_arguments(hierarchy)
+    _add_layout_arguments(hierarchy)
+    hierarchy.add_argument("--l1-size", type=int, default=4 * 1024)
+    hierarchy.add_argument("--l2-size", type=int, default=32 * 1024)
+    hierarchy.add_argument("--line-size", type=int, default=128)
+    hierarchy.set_defaults(func=_hierarchy)
+
+    scenes = subparsers.add_parser("scenes", help="list benchmark scenes")
+    scenes.set_defaults(func=_scenes)
+
+    costs = subparsers.add_parser("costs", help="print the Table 2.1 cost model")
+    _add_layout_arguments(costs)
+    costs.set_defaults(func=_costs)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

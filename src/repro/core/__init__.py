@@ -1,0 +1,124 @@
+"""The paper's contribution: the texture cache architecture --
+simulator, stack-distance analysis, miss classification, machine model
+and bandwidth accounting."""
+
+from .cache import (
+    CacheConfig,
+    CacheStats,
+    LineStream,
+    LRUCache,
+    collapse_consecutive,
+    simulate,
+    simulate_sequence,
+    to_lines,
+)
+from .stackdist import (
+    COLD,
+    DistanceProfile,
+    MissRateCurve,
+    miss_rate_curve,
+    stack_distances,
+)
+from .classify import classify_misses
+from .machine import PAPER_MACHINE, MachineModel
+from .bandwidth import (
+    GBYTE,
+    MBYTE,
+    cached_bandwidth,
+    mbytes_per_second,
+    reduction_factor,
+    uncached_bandwidth,
+)
+from .banking import (
+    BankingStats,
+    N_BANKS,
+    analyze_banking,
+    linear_bank,
+    morton_bank,
+    quad_is_conflict_free,
+)
+from .prefetch import (
+    PrefetchPipeline,
+    PrefetchResult,
+    fragment_miss_counts,
+    sweep_fifo_depths,
+)
+from .parallel import (
+    ParallelStats,
+    ScanlineInterleave,
+    StripSplit,
+    TileInterleave,
+    WorkDistribution,
+    simulate_parallel,
+    split_trace,
+)
+from .dram import DramModel, PAPER_DRAM, line_fill_cycles, uncached_stream_cycles
+from .hierarchy import HierarchyStats, hierarchy_bandwidths, simulate_hierarchy
+from .victim import VictimStats, simulate_victim
+from .sweep import (
+    PAPER_ASSOCIATIVITIES,
+    PAPER_CACHE_SIZES,
+    PAPER_LINE_SIZES,
+    TraceStreams,
+    fully_associative_curve,
+    sweep_associativities,
+    sweep_cache_sizes,
+)
+
+__all__ = [
+    "CacheConfig",
+    "CacheStats",
+    "LineStream",
+    "LRUCache",
+    "collapse_consecutive",
+    "simulate",
+    "simulate_sequence",
+    "to_lines",
+    "COLD",
+    "DistanceProfile",
+    "MissRateCurve",
+    "miss_rate_curve",
+    "stack_distances",
+    "classify_misses",
+    "MachineModel",
+    "PAPER_MACHINE",
+    "MBYTE",
+    "GBYTE",
+    "cached_bandwidth",
+    "mbytes_per_second",
+    "reduction_factor",
+    "uncached_bandwidth",
+    "TraceStreams",
+    "PAPER_CACHE_SIZES",
+    "PAPER_LINE_SIZES",
+    "PAPER_ASSOCIATIVITIES",
+    "fully_associative_curve",
+    "sweep_associativities",
+    "sweep_cache_sizes",
+    "BankingStats",
+    "N_BANKS",
+    "analyze_banking",
+    "morton_bank",
+    "linear_bank",
+    "quad_is_conflict_free",
+    "PrefetchPipeline",
+    "PrefetchResult",
+    "fragment_miss_counts",
+    "sweep_fifo_depths",
+    "ParallelStats",
+    "WorkDistribution",
+    "TileInterleave",
+    "ScanlineInterleave",
+    "StripSplit",
+    "simulate_parallel",
+    "split_trace",
+    "VictimStats",
+    "simulate_victim",
+    "DramModel",
+    "PAPER_DRAM",
+    "line_fill_cycles",
+    "uncached_stream_cycles",
+    "HierarchyStats",
+    "simulate_hierarchy",
+    "hierarchy_bandwidths",
+]

@@ -1,0 +1,61 @@
+"""Texture memory bandwidth model (paper Section 7.2, Table 7.1).
+
+At a sustained rate of 50 million textured fragments per second:
+
+* an **uncached** system fetches every texel from DRAM:
+  4 bytes/texel * 8 texels/fragment * 50 M fragments/s
+  = 1.5 GBytes/second;
+* a **cached** system only transfers missed lines:
+  miss_rate * 8 texels/fragment * 50 M fragments/s * line_size bytes.
+
+The paper reports megabytes using binary units (2**20 bytes), which we
+follow so Table 7.1's numbers are directly comparable.
+"""
+
+from __future__ import annotations
+
+from .machine import PAPER_MACHINE, MachineModel
+
+MBYTE = float(1 << 20)
+GBYTE = float(1 << 30)
+
+
+def uncached_bandwidth(machine: MachineModel = PAPER_MACHINE) -> float:
+    """DRAM bandwidth (bytes/s) without a texture cache."""
+    return (
+        machine.texel_nbytes
+        * machine.texels_per_fragment
+        * machine.peak_fragments_per_second
+    )
+
+
+def cached_bandwidth(
+    miss_rate: float, line_size: int, machine: MachineModel = PAPER_MACHINE
+) -> float:
+    """DRAM bandwidth (bytes/s) with a texture cache at ``miss_rate``.
+
+    Every miss transfers one full line; the fragment rate is the
+    machine's peak (latency assumed hidden, Section 7.1.1).
+    """
+    if not 0.0 <= miss_rate <= 1.0:
+        raise ValueError(f"miss_rate must be within [0, 1], got {miss_rate}")
+    accesses_per_second = machine.texels_per_fragment * machine.peak_fragments_per_second
+    return miss_rate * accesses_per_second * line_size
+
+
+def reduction_factor(
+    miss_rate: float, line_size: int, machine: MachineModel = PAPER_MACHINE
+) -> float:
+    """How many times less bandwidth the cached system needs.
+
+    The paper's headline: between three and fifteen for a 32 KB cache.
+    """
+    cached = cached_bandwidth(miss_rate, line_size, machine)
+    if cached == 0.0:
+        return float("inf")
+    return uncached_bandwidth(machine) / cached
+
+
+def mbytes_per_second(bytes_per_second: float) -> float:
+    """Convert to the paper's MBytes/second (binary mega)."""
+    return bytes_per_second / MBYTE

@@ -1,0 +1,144 @@
+"""Multi-banked SRAM cache modelling (paper Section 7.1.2).
+
+To read four texels per cycle, the cache is interleaved across four
+independently addressed banks *at texel granularity*: "a conflict-free
+address distribution which allows up to four texels to be accessed in
+parallel is possible if the texels are stored in a morton order within
+the cache lines.  Morton order implies that the texels are stored in
+2x2 blocks.  The texels within each 2x2 block are interleaved across
+the four banks and the same interleaving pattern is used for all 2x2
+blocks ... to ensure that adjacent texels in abutting blocks are
+assigned to different banks."
+
+This module assigns bank numbers to texel coordinates under morton and
+row-major (linear) interleaving and measures, for a real access trace,
+how many filter quads can complete in a single cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..pipeline.trace import TexelTrace
+
+#: Banks in the paper's design (one bilinear quad per cycle).
+N_BANKS = 4
+
+
+def morton_bank(tu: np.ndarray, tv: np.ndarray) -> np.ndarray:
+    """Bank id under morton (2x2-block) interleaving.
+
+    The bank is determined by the texel coordinate parities, so any
+    axis-aligned 2x2 quad -- aligned to the grid or not -- touches all
+    four banks exactly once.
+    """
+    tu = np.asarray(tu, dtype=np.int64)
+    tv = np.asarray(tv, dtype=np.int64)
+    return ((tv & 1) << 1) | (tu & 1)
+
+
+def linear_bank(tu: np.ndarray, tv: np.ndarray, level_width: np.ndarray) -> np.ndarray:
+    """Bank id when texels are interleaved in row-major address order
+    (the naive alternative the paper's morton scheme fixes).
+
+    With power-of-two level widths, texels vertically adjacent land in
+    the same bank whenever the row length is a multiple of the bank
+    count -- which it always is beyond tiny levels.
+    """
+    tu = np.asarray(tu, dtype=np.int64)
+    tv = np.asarray(tv, dtype=np.int64)
+    level_width = np.asarray(level_width, dtype=np.int64)
+    return (tv * level_width + tu) & (N_BANKS - 1)
+
+
+@dataclass
+class BankingStats:
+    """Per-quad bank conflict statistics for one trace."""
+
+    n_quads: int
+    conflict_free_quads: int
+    total_extra_cycles: int
+
+    @property
+    def conflict_free_fraction(self) -> float:
+        return self.conflict_free_quads / self.n_quads if self.n_quads else 1.0
+
+    @property
+    def mean_cycles_per_quad(self) -> float:
+        """Cycles to read one 4-texel quad (1.0 = conflict free)."""
+        if self.n_quads == 0:
+            return 1.0
+        return 1.0 + self.total_extra_cycles / self.n_quads
+
+
+def _quad_cycles(banks: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Cycles needed per quad: the max number of *distinct* texels any
+    single bank must serve.  ``banks``/``keys`` have shape
+    ``(n_quads, 4)``; duplicate texels inside a quad (degenerate 2x2
+    footprints at the 1x1/2x1 pyramid top) are one read broadcast to
+    all lerp inputs, not separate bank accesses."""
+    duplicate = np.zeros(banks.shape, dtype=bool)
+    for column in range(1, 4):
+        for earlier in range(column):
+            duplicate[:, column] |= keys[:, column] == keys[:, earlier]
+    cycles = np.zeros(len(banks), dtype=np.int64)
+    for bank in range(N_BANKS):
+        served = (banks == bank) & ~duplicate
+        cycles = np.maximum(cycles, served.sum(axis=1))
+    return np.maximum(cycles, 1)
+
+
+def analyze_banking(trace: TexelTrace, scheme: str = "morton",
+                    level0_width: int = None) -> BankingStats:
+    """Measure bank conflicts for the filter quads of ``trace``.
+
+    Accesses are grouped in fours (each trilinear fragment contributes
+    a lower-level and an upper-level quad; each bilinear fragment one
+    quad) -- the unit the four-banked cache must serve per cycle.
+
+    ``scheme`` is ``morton`` or ``linear``; ``linear`` needs
+    ``level0_width`` (texels) to derive each level's row length.
+    """
+    n = trace.n_accesses - (trace.n_accesses % 4)
+    if n == 0:
+        return BankingStats(n_quads=0, conflict_free_quads=0, total_extra_cycles=0)
+    tu = trace.tu[:n]
+    tv = trace.tv[:n]
+    if scheme == "morton":
+        banks = morton_bank(tu, tv)
+    elif scheme == "linear":
+        if level0_width is None:
+            raise ValueError("linear banking needs level0_width")
+        widths = np.maximum(level0_width >> trace.level[:n].astype(np.int64), 1)
+        banks = linear_bank(tu, tv, widths)
+    else:
+        raise ValueError(f"unknown banking scheme {scheme!r}")
+    keys = (tv.astype(np.int64) << 21) | tu.astype(np.int64)
+    cycles = _quad_cycles(banks.reshape(-1, 4), keys.reshape(-1, 4))
+    return BankingStats(
+        n_quads=len(cycles),
+        conflict_free_quads=int((cycles == 1).sum()),
+        total_extra_cycles=int((cycles - 1).sum()),
+    )
+
+
+def fragments_per_second(stats: BankingStats, machine) -> float:
+    """Fragment rate once bank conflicts are accounted for.
+
+    The machine's peak (Section 7.1.1's 50 Mfragments/s) assumes every
+    filter quad completes in one cycle; bank conflicts stretch the
+    average quad to ``mean_cycles_per_quad``, scaling the rate down
+    proportionally.
+    """
+    quads_per_fragment = machine.texels_per_fragment / 4.0
+    cycles_per_fragment = quads_per_fragment * stats.mean_cycles_per_quad
+    return machine.clock_hz / cycles_per_fragment
+
+
+def quad_is_conflict_free(tu: np.ndarray, tv: np.ndarray) -> bool:
+    """True when the four texels at ``(tu, tv)`` hit distinct morton
+    banks (used by tests and the Section 7.1.2 verification)."""
+    banks = morton_bank(np.asarray(tu), np.asarray(tv))
+    return len(set(banks.tolist())) == 4

@@ -1,0 +1,113 @@
+"""DRAM timing model (paper Section 3.2's motivation).
+
+"Present-day DRAM architectures are optimized for long burst transfers
+to microprocessor caches since this amortizes the setup costs of the
+transfer over many bytes and leads to the most efficient memory bus
+utilization."  The paper's second argument for texture caches is thus
+independent of hit rates: even for the *same* bytes, fetching whole
+cache lines uses the DRAM far better than the uncached system's
+texel-sized random accesses.
+
+:class:`DramModel` is a page-mode DRAM with banks and open row
+buffers: an access to an open row costs ``col_cycles`` per burst beat;
+a row change adds ``row_cycles``.  :func:`access_time` walks an access
+stream (address, burst length) and returns total cycles, from which
+effective bandwidth and bus utilization follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..texture.image import is_power_of_two, log2_int
+
+
+@dataclass(frozen=True)
+class DramModel:
+    """A banked page-mode DRAM.
+
+    Defaults model a mid-90s SDRAM part: 2 KB rows, 4 banks, 8 bytes
+    per column beat, 2 cycles per beat when the row is open, 8 extra
+    cycles to precharge + activate on a row change.
+    """
+
+    row_nbytes: int = 2048
+    n_banks: int = 4
+    beat_nbytes: int = 8
+    col_cycles: int = 2
+    row_cycles: int = 8
+
+    def __post_init__(self) -> None:
+        for field_name in ("row_nbytes", "n_banks", "beat_nbytes"):
+            if not is_power_of_two(getattr(self, field_name)):
+                raise ValueError(f"{field_name} must be a power of two")
+
+    @property
+    def peak_bytes_per_cycle(self) -> float:
+        """Bus limit with rows always open."""
+        return self.beat_nbytes / self.col_cycles
+
+    def bank_and_row(self, addresses: np.ndarray) -> tuple:
+        """Bank index and row number per address (row-interleaved)."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        row_shift = log2_int(self.row_nbytes)
+        global_row = addresses >> row_shift
+        bank = global_row & (self.n_banks - 1)
+        row = global_row >> log2_int(self.n_banks)
+        return bank, row
+
+    def access_cycles(self, addresses: np.ndarray, burst_nbytes: int) -> float:
+        """Cycles to serve bursts of ``burst_nbytes`` at ``addresses``.
+
+        Open-row tracking per bank; beats within a burst always hit the
+        open row (bursts never straddle rows for power-of-two line
+        sizes within a row).
+        """
+        if burst_nbytes < 1:
+            raise ValueError("burst must transfer at least one byte")
+        beats = max(-(-burst_nbytes // self.beat_nbytes), 1)
+        bank, row = self.bank_and_row(addresses)
+        open_rows = np.full(self.n_banks, -1, dtype=np.int64)
+        cycles = 0
+        for b, r in zip(bank.tolist(), row.tolist()):
+            if open_rows[b] != r:
+                cycles += self.row_cycles
+                open_rows[b] = r
+            cycles += beats * self.col_cycles
+        return float(cycles)
+
+    def effective_bandwidth(self, addresses: np.ndarray, burst_nbytes: int,
+                            clock_hz: float = 100e6) -> float:
+        """Bytes/second actually delivered for the access stream."""
+        if len(addresses) == 0:
+            return 0.0
+        cycles = self.access_cycles(addresses, burst_nbytes)
+        total_bytes = len(addresses) * burst_nbytes
+        return total_bytes / cycles * clock_hz
+
+    def bus_utilization(self, addresses: np.ndarray, burst_nbytes: int) -> float:
+        """Delivered bytes over the zero-overhead bus capacity."""
+        if len(addresses) == 0:
+            return 1.0
+        cycles = self.access_cycles(addresses, burst_nbytes)
+        ideal = len(addresses) * burst_nbytes / self.peak_bytes_per_cycle
+        return ideal / cycles
+
+
+#: A reference part for the Section 3.2 comparison.
+PAPER_DRAM = DramModel()
+
+
+def uncached_stream_cycles(addresses: np.ndarray, texel_nbytes: int = 4,
+                           dram: DramModel = PAPER_DRAM) -> float:
+    """Cycles for the cacheless system: one texel-sized access per
+    texel fetch (what a dedicated texture DRAM must serve)."""
+    return dram.access_cycles(addresses, texel_nbytes)
+
+
+def line_fill_cycles(miss_addresses: np.ndarray, line_size: int,
+                     dram: DramModel = PAPER_DRAM) -> float:
+    """Cycles for a cached system's miss stream of whole-line bursts."""
+    return dram.access_cycles(miss_addresses, line_size)

@@ -1,0 +1,101 @@
+"""Multi-level texture cache hierarchies.
+
+The paper studies a single SRAM level backed by DRAM, and notes the
+tension it leaves open: the cache wants to be small (on-chip, low
+latency, Section 3.2) yet large enough to hold the working set
+(Section 5.2.3).  A standard resolution is a hierarchy: a tiny L1
+tightly coupled to the filter plus a larger L2 in front of the DRAM
+pool.  :func:`simulate_hierarchy` measures it: each level's miss
+stream, in order, becomes the next level's access stream (exact, since
+the simulation is sequential per access).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cache import LRUCache, to_lines
+
+
+@dataclass
+class HierarchyStats:
+    """Per-level outcomes of a multi-level simulation."""
+
+    levels: list  # CacheStats per level, L1 first
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def memory_misses(self) -> int:
+        """Fetches that reach DRAM (the last level's misses)."""
+        return self.levels[-1].misses
+
+    @property
+    def memory_miss_rate(self) -> float:
+        """DRAM fetches over the original access count."""
+        accesses = self.levels[0].accesses
+        return self.memory_misses / accesses if accesses else 0.0
+
+    def local_miss_rate(self, level: int) -> float:
+        """Misses of ``level`` over *its own* access stream."""
+        return self.levels[level].miss_rate
+
+
+def simulate_hierarchy(addresses: np.ndarray, configs) -> HierarchyStats:
+    """Simulate an inclusive-traffic cache hierarchy.
+
+    ``configs`` lists :class:`CacheConfig` from L1 outward; each
+    level's line size must not shrink at outer levels (an L2 line holds
+    whole L1 lines).  L2 sees exactly the L1 miss sequence, so
+    collapsing cannot be applied between levels -- each level is
+    simulated per access on its (already much thinner) input stream.
+    """
+    configs = list(configs)
+    if not configs:
+        raise ValueError("need at least one cache level")
+    for inner, outer in zip(configs, configs[1:]):
+        if outer.line_size < inner.line_size:
+            raise ValueError(
+                "outer levels need line sizes >= inner levels "
+                f"({outer.line_size} < {inner.line_size})")
+
+    stream = np.asarray(addresses, dtype=np.int64)
+    levels = []
+    for config in configs:
+        cache = LRUCache(config)
+        lines = to_lines(stream, config.line_size)
+        miss_lines = []
+        previous = None
+        hits = 0
+        for line in lines.tolist():
+            if line == previous:
+                hits += 1
+                continue
+            previous = line
+            if not cache.access(line):
+                miss_lines.append(line)
+        cache.accesses += hits  # consecutive duplicates are hits
+        levels.append(cache.stats())
+        # The next level sees the miss lines as byte addresses.
+        stream = np.asarray(miss_lines, dtype=np.int64) * config.line_size
+    return HierarchyStats(levels=levels)
+
+
+def hierarchy_bandwidths(stats: HierarchyStats, machine) -> list:
+    """Bytes/second crossing each level boundary at the machine's peak
+    fragment rate; the last entry is the DRAM bandwidth."""
+    accesses_per_second = (machine.texels_per_fragment
+                           * machine.peak_fragments_per_second)
+    total_accesses = stats.levels[0].accesses
+    if total_accesses == 0:
+        return [0.0] * stats.n_levels
+    results = []
+    for level_stats in stats.levels:
+        misses_per_access = level_stats.misses / total_accesses
+        results.append(misses_per_access * accesses_per_second
+                       * level_stats.config.line_size)
+    return results

@@ -1,0 +1,69 @@
+"""Machine model for the texture mapping system (paper Section 7.1).
+
+The paper's fragment generator runs at 100 MHz, reads four texels per
+cycle from a banked (morton-interleaved) SRAM cache, and therefore
+textures at most 50 million trilinear fragments per second.  A 128-byte
+line fill costs roughly fifty 10 ns cycles; the machine model exposes
+both the peak (latency fully hidden by prefetching, Section 7.1.1) and
+latency-bound fragment rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Fragment generator and memory-system timing parameters.
+
+    Defaults reproduce the paper's assumptions: 100 MHz clock, four
+    cache ports (texels per cycle), eight texel fetches per trilinear
+    fragment, and a line-fill latency of ``miss_setup_cycles`` plus one
+    cycle per ``dram_bytes_per_cycle`` transferred -- 18 + 128/4 = 50
+    cycles for a 128-byte line, matching Section 7.1.1.
+    """
+
+    clock_hz: float = 100e6
+    texels_per_cycle: int = 4
+    texels_per_fragment: int = 8
+    texel_nbytes: int = 4
+    miss_setup_cycles: float = 18.0
+    dram_bytes_per_cycle: float = 4.0
+
+    @property
+    def peak_fragments_per_second(self) -> float:
+        """Cache-port-limited fragment rate (50 M/s by default)."""
+        return self.clock_hz * self.texels_per_cycle / self.texels_per_fragment
+
+    @property
+    def cycles_per_fragment(self) -> float:
+        """Cycles to read one fragment's texels from the cache."""
+        return self.texels_per_fragment / self.texels_per_cycle
+
+    def miss_latency_cycles(self, line_size: int) -> float:
+        """Cycles to fill one cache line from DRAM."""
+        return self.miss_setup_cycles + line_size / self.dram_bytes_per_cycle
+
+    def fragments_per_second(
+        self, miss_rate: float, line_size: int, latency_hidden: bool = True
+    ) -> float:
+        """Achieved fragment rate at a given texture-cache miss rate.
+
+        With ``latency_hidden`` (the paper's prefetching rasterizer,
+        Section 7.1.1) the system sustains the peak rate; otherwise each
+        miss stalls the pipeline for the full line-fill latency,
+        "constraining the performance of the system".
+        """
+        if latency_hidden:
+            return self.peak_fragments_per_second
+        stall = miss_rate * self.texels_per_fragment * self.miss_latency_cycles(line_size)
+        return self.clock_hz / (self.cycles_per_fragment + stall)
+
+    def frame_texels(self, n_fragments: int) -> int:
+        """Total texel fetches to texture ``n_fragments`` fragments."""
+        return n_fragments * self.texels_per_fragment
+
+
+#: The paper's reference machine.
+PAPER_MACHINE = MachineModel()

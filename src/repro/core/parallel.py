@@ -1,0 +1,185 @@
+"""Parallel texture caching (paper Sections 7.2 and 8).
+
+"The memory bandwidths are low enough that a parallel system could be
+built with multiple fragment generators sharing a single texture
+memory, each with their own cache" (Section 7.2) -- avoiding the
+RealityEngine's replication of every texture in every generator's
+memory.  Section 8 then poses the open question this module studies:
+"how to balance the work among multiple fragment generators without
+reducing the spatial locality in each reference stream."
+
+A :class:`WorkDistribution` assigns each fragment (by screen position)
+to one of ``n_generators``; the frame's texel trace is split into
+per-generator streams, each simulated against its own private cache.
+Because the texture memory is shared and read-only, no coherence
+traffic is modelled (the paper: "no cache coherence is needed since
+the texture data is mostly read-only").
+
+Metrics capture the paper's tension: finer interleaving balances load
+but slices up the spatial locality each cache sees (higher per-stream
+miss rates, more lines fetched redundantly by multiple generators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..pipeline.trace import TexelTrace
+from .cache import CacheConfig, simulate, to_lines
+from .machine import PAPER_MACHINE, MachineModel
+
+
+class WorkDistribution:
+    """Maps fragment screen positions to generator ids."""
+
+    name = "distribution"
+
+    def __init__(self, n_generators: int):
+        if n_generators < 1:
+            raise ValueError("need at least one generator")
+        self.n_generators = n_generators
+
+    def assign(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class TileInterleave(WorkDistribution):
+    """Screen tiles dealt round-robin to generators (fine-grained
+    balance; tile size controls how much locality each stream keeps)."""
+
+    def __init__(self, n_generators: int, tile: int = 32):
+        super().__init__(n_generators)
+        if tile < 1:
+            raise ValueError("tile must be positive")
+        self.tile = tile
+        self.name = f"tile{tile}-interleave"
+
+    def assign(self, x, y):
+        tile_x = x.astype(np.int64) // self.tile
+        tile_y = y.astype(np.int64) // self.tile
+        # Offset alternate tile rows so generators get a checkerboard
+        # rather than vertical columns of tiles.
+        return ((tile_x + tile_y) % self.n_generators).astype(np.int16)
+
+
+class ScanlineInterleave(WorkDistribution):
+    """Alternate scan lines per generator (classic SLI; the finest
+    practical interleave -- maximum balance, minimum locality)."""
+
+    name = "scanline-interleave"
+
+    def assign(self, x, y):
+        return (y.astype(np.int64) % self.n_generators).astype(np.int16)
+
+
+class StripSplit(WorkDistribution):
+    """Contiguous horizontal screen bands (maximum locality per stream,
+    load balance at the scene's mercy)."""
+
+    def __init__(self, n_generators: int, height: int):
+        super().__init__(n_generators)
+        if height < n_generators:
+            raise ValueError("screen shorter than the generator count")
+        self.height = height
+        self.name = "strip-split"
+
+    def assign(self, x, y):
+        band = max(-(-self.height // self.n_generators), 1)
+        return np.minimum(y.astype(np.int64) // band,
+                          self.n_generators - 1).astype(np.int16)
+
+
+@dataclass
+class ParallelStats:
+    """Outcome of simulating a multi-generator texture system."""
+
+    distribution: str
+    config: CacheConfig
+    per_generator: list
+    fragments_per_generator: np.ndarray
+    redundancy: float
+
+    @property
+    def n_generators(self) -> int:
+        return len(self.per_generator)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(s.accesses for s in self.per_generator)
+
+    @property
+    def total_misses(self) -> int:
+        return sum(s.misses for s in self.per_generator)
+
+    @property
+    def aggregate_miss_rate(self) -> float:
+        total = self.total_accesses
+        return self.total_misses / total if total else 0.0
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max over mean fragments per generator (1.0 = perfect)."""
+        mean = self.fragments_per_generator.mean()
+        if mean == 0:
+            return 1.0
+        return float(self.fragments_per_generator.max() / mean)
+
+    def shared_memory_bandwidth(self, machine: MachineModel = PAPER_MACHINE) -> float:
+        """Bytes/second drawn from the shared DRAM by all generators,
+        with each generator sustaining the machine's peak fragment
+        rate (the paper's aggregate-bandwidth question)."""
+        accesses_per_second = (machine.texels_per_fragment
+                               * machine.peak_fragments_per_second)
+        return (self.aggregate_miss_rate * accesses_per_second
+                * self.config.line_size * self.n_generators)
+
+
+def split_trace(trace: TexelTrace, distribution: WorkDistribution) -> list:
+    """Split a position-annotated trace into per-generator sub-traces,
+    preserving each stream's access order."""
+    if not trace.has_positions:
+        raise ValueError(
+            "trace lacks screen positions; render with record_positions=True")
+    owner = distribution.assign(trace.x, trace.y)
+    return [trace.subset(owner == gen) for gen in range(distribution.n_generators)]
+
+
+def simulate_parallel(
+    trace: TexelTrace,
+    placements,
+    distribution: WorkDistribution,
+    config: CacheConfig,
+) -> ParallelStats:
+    """Simulate private per-generator caches over a shared texture
+    memory.
+
+    ``redundancy`` in the result is the number of distinct lines
+    fetched summed across generators divided by the distinct lines of
+    the whole frame: 1.0 means no texture data was fetched by more than
+    one generator; the excess is traffic the single-generator system
+    would not have paid.
+    """
+    subtraces = split_trace(trace, distribution)
+    stats = []
+    distinct_union = set()
+    distinct_sum = 0
+    fragments = np.zeros(distribution.n_generators, dtype=np.int64)
+    for index, subtrace in enumerate(subtraces):
+        addresses = subtrace.byte_addresses(placements)
+        stats.append(simulate(addresses, config))
+        lines = np.unique(to_lines(addresses, config.line_size))
+        distinct_sum += len(lines)
+        distinct_union.update(lines.tolist())
+        # Eight accesses per trilinear fragment; bilinear fragments
+        # contribute four -- fragment share approximated by accesses.
+        fragments[index] = subtrace.n_accesses
+    redundancy = distinct_sum / max(len(distinct_union), 1)
+    return ParallelStats(
+        distribution=distribution.name,
+        config=config,
+        per_generator=stats,
+        fragments_per_generator=fragments,
+        redundancy=redundancy,
+    )

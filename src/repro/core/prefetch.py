@@ -1,0 +1,151 @@
+"""Latency hiding by prefetching (paper Section 7.1.1).
+
+The paper's machine hides the ~50-cycle line-fill latency by
+rasterizing each triangle twice: a *prefetch* rasterizer computes texel
+addresses ahead of time and issues fills for missing lines; a FIFO
+buffer carries the addresses to the *texture* rasterizer, which reads
+the (by then resident) texels.  If the FIFO is too shallow -- or absent
+-- the texture stage stalls on every miss and "the memory latency would
+constrain the performance of the system".
+
+:class:`PrefetchPipeline` is a two-stage timing model over a real
+miss sequence: the prefetcher runs ``fifo_depth`` fragments ahead of
+the texture stage, fills are pipelined through a memory channel that
+serves one line every ``fill_interval`` cycles after ``latency``
+cycles, and the texture stage consumes one fragment per
+``cycles_per_fragment``.  The output is the achieved fragment rate,
+which reaches the machine's peak once the FIFO is deep enough to cover
+``latency``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cache import CacheConfig, LRUCache, to_lines
+from .machine import PAPER_MACHINE, MachineModel
+
+
+def fragment_miss_counts(
+    addresses: np.ndarray, config: CacheConfig, accesses_per_fragment: int = 8
+) -> np.ndarray:
+    """Number of cache misses in each fragment's texel quadruple/octet.
+
+    Simulates the access stream in order (no collapsing: per-access
+    outcomes are needed) and folds outcomes per fragment.  Trailing
+    accesses that do not fill a whole fragment are dropped.
+    """
+    lines = to_lines(addresses, config.line_size)
+    n = len(lines) - (len(lines) % accesses_per_fragment)
+    cache = LRUCache(config)
+    outcomes = np.empty(n, dtype=bool)
+    for index, line in enumerate(lines[:n].tolist()):
+        outcomes[index] = not cache.access(line)
+    return outcomes.reshape(-1, accesses_per_fragment).sum(axis=1)
+
+
+@dataclass
+class PrefetchResult:
+    """Timing outcome of one pipeline run."""
+
+    n_fragments: int
+    total_cycles: float
+    stall_cycles: float
+    machine: MachineModel
+
+    @property
+    def fragments_per_second(self) -> float:
+        if self.total_cycles == 0:
+            return 0.0
+        return self.n_fragments / self.total_cycles * self.machine.clock_hz
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved rate over the machine's port-limited peak."""
+        peak_cycles = self.n_fragments * self.machine.cycles_per_fragment
+        return peak_cycles / self.total_cycles if self.total_cycles else 0.0
+
+
+class PrefetchPipeline:
+    """Two-stage prefetch timing model.
+
+    Parameters
+    ----------
+    machine:
+        Clock, port width, and line-fill latency model.
+    fifo_depth:
+        How many fragments the prefetch rasterizer may run ahead of the
+        texture rasterizer.  Depth 0 models a system with no
+        prefetching: every miss exposes the full fill latency.
+    fill_interval:
+        Cycles between successive line-fill completions once the
+        memory pipeline is streaming (bus occupancy per line); defaults
+        to ``line_size / dram_bytes_per_cycle``.
+    """
+
+    def __init__(self, machine: MachineModel = PAPER_MACHINE,
+                 fifo_depth: int = 32, fill_interval: float = None):
+        if fifo_depth < 0:
+            raise ValueError("fifo_depth must be >= 0")
+        self.machine = machine
+        self.fifo_depth = fifo_depth
+        self.fill_interval = fill_interval
+
+    def run(self, miss_counts: np.ndarray, line_size: int) -> PrefetchResult:
+        """Walk fragments through the two-stage pipeline.
+
+        ``miss_counts[i]`` is the number of line fills fragment ``i``
+        needs (from :func:`fragment_miss_counts`).
+        """
+        machine = self.machine
+        latency = machine.miss_latency_cycles(line_size)
+        interval = self.fill_interval
+        if interval is None:
+            interval = line_size / machine.dram_bytes_per_cycle
+        consume = machine.cycles_per_fragment
+
+        # The prefetcher may issue fragment i's fills once the texture
+        # stage has consumed fragment i - fifo_depth; fills stream
+        # through the memory channel one per `interval` after `latency`.
+        memory_free = 0.0
+        ready_at = np.zeros(len(miss_counts))
+        texture_time = 0.0
+        stall = 0.0
+        finish = np.zeros(len(miss_counts))
+        for index, misses in enumerate(miss_counts.tolist()):
+            if self.fifo_depth > 0:
+                gate_index = index - self.fifo_depth
+                prefetch_time = finish[gate_index] if gate_index >= 0 else 0.0
+            else:
+                # No prefetch: fills start when the texture stage
+                # reaches the fragment itself.
+                prefetch_time = texture_time
+            if misses:
+                start = max(memory_free, prefetch_time)
+                memory_free = start + misses * interval
+                ready_at[index] = start + (misses - 1) * interval + latency
+            else:
+                ready_at[index] = 0.0
+            begin = max(texture_time, ready_at[index])
+            stall += begin - texture_time
+            texture_time = begin + consume
+            finish[index] = texture_time
+        return PrefetchResult(
+            n_fragments=len(miss_counts),
+            total_cycles=texture_time,
+            stall_cycles=stall,
+            machine=machine,
+        )
+
+
+def sweep_fifo_depths(miss_counts: np.ndarray, line_size: int, depths,
+                      machine: MachineModel = PAPER_MACHINE,
+                      fill_interval: float = None) -> dict:
+    """Achieved fragment rate for each FIFO depth."""
+    return {
+        depth: PrefetchPipeline(machine, fifo_depth=depth,
+                                fill_interval=fill_interval).run(miss_counts, line_size)
+        for depth in depths
+    }

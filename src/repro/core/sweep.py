@@ -1,0 +1,96 @@
+"""Parameter-sweep helpers for cache studies.
+
+The paper's figures sweep one axis at a time (cache size, line size,
+block size, associativity, tile size) while holding the rest fixed.
+These helpers run such grids efficiently: one collapsed
+:class:`LineStream` per line size, one stack-distance profile per
+stream, shared across all configurations that can reuse them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cache import CacheConfig, LineStream, simulate
+from .classify import classify_misses
+from .stackdist import DistanceProfile, MissRateCurve, miss_rate_curve
+
+#: The cache-size grid (bytes) used throughout the paper's figures.
+PAPER_CACHE_SIZES = tuple(1024 * k for k in (1, 2, 4, 8, 16, 32, 64, 128, 256))
+
+#: Line sizes studied in Figures 5.4/5.5 and Table 7.1.
+PAPER_LINE_SIZES = (16, 32, 64, 128, 256)
+
+#: Associativities studied in Figure 5.7 (None = fully associative).
+PAPER_ASSOCIATIVITIES = (1, 2, 4, 8, 16, None)
+
+
+@dataclass
+class TraceStreams:
+    """Per-line-size collapsed streams and distance profiles for one
+    byte-address trace, built lazily and memoized."""
+
+    addresses: np.ndarray
+
+    def __post_init__(self) -> None:
+        self._streams = {}
+        self._profiles = {}
+
+    def stream(self, line_size: int) -> LineStream:
+        if line_size not in self._streams:
+            self._streams[line_size] = LineStream.from_addresses(self.addresses, line_size)
+        return self._streams[line_size]
+
+    def profile(self, line_size: int) -> DistanceProfile:
+        if line_size not in self._profiles:
+            self._profiles[line_size] = DistanceProfile.from_stream(self.stream(line_size))
+        return self._profiles[line_size]
+
+
+def sweep_cache_sizes(
+    trace, line_size: int, cache_sizes=PAPER_CACHE_SIZES, assoc=None
+) -> list:
+    """Miss stats across ``cache_sizes`` at fixed line size and
+    associativity.
+
+    Fully-associative sweeps use one stack-distance pass; finite
+    associativities simulate each size (sharing the collapsed stream).
+    Returns a list of :class:`CacheStats`.
+    """
+    streams = trace if isinstance(trace, TraceStreams) else TraceStreams(np.asarray(trace))
+    stream = streams.stream(line_size)
+    if assoc is None:
+        curve = miss_rate_curve(stream, line_size, cache_sizes)
+        return curve.as_stats()
+    stats = []
+    for size in sorted(cache_sizes):
+        config = CacheConfig(size=int(size), line_size=line_size, assoc=assoc)
+        stats.append(simulate(stream, config))
+    return stats
+
+
+def sweep_associativities(
+    trace, size: int, line_size: int, associativities=PAPER_ASSOCIATIVITIES,
+    classify: bool = False,
+) -> list:
+    """Miss stats across associativities at fixed size and line size."""
+    streams = trace if isinstance(trace, TraceStreams) else TraceStreams(np.asarray(trace))
+    stream = streams.stream(line_size)
+    stats = []
+    for assoc in associativities:
+        config = CacheConfig(size=size, line_size=line_size, assoc=assoc)
+        if classify:
+            stats.append(classify_misses(stream, config, profile=streams.profile(line_size)))
+        else:
+            stats.append(simulate(stream, config))
+    return stats
+
+
+def fully_associative_curve(
+    trace, line_size: int, cache_sizes=PAPER_CACHE_SIZES
+) -> MissRateCurve:
+    """The miss-rate-versus-size curve for a fully-associative cache."""
+    streams = trace if isinstance(trace, TraceStreams) else TraceStreams(np.asarray(trace))
+    return miss_rate_curve(streams.stream(line_size), line_size, cache_sizes)

@@ -1,0 +1,45 @@
+"""Geometry substrate: vectors, transforms, meshes, clipping, lighting
+(the pipeline's first stage, paper Section 2)."""
+
+from .vec import cross, dot, homogenize, normalize, triangle_normals, vertex_normals
+from .transform import (
+    identity,
+    look_at,
+    ndc_to_screen,
+    perspective,
+    rotate_x,
+    rotate_y,
+    rotate_z,
+    scale,
+    transform_points,
+    translate,
+)
+from .mesh import Mesh, make_grid, make_quad
+from .clip import ClippedTriangles, clip_triangles_near
+from .lighting import DirectionalLight, light_mesh
+
+__all__ = [
+    "normalize",
+    "cross",
+    "dot",
+    "homogenize",
+    "triangle_normals",
+    "vertex_normals",
+    "identity",
+    "translate",
+    "scale",
+    "rotate_x",
+    "rotate_y",
+    "rotate_z",
+    "look_at",
+    "perspective",
+    "transform_points",
+    "ndc_to_screen",
+    "Mesh",
+    "make_quad",
+    "make_grid",
+    "ClippedTriangles",
+    "clip_triangles_near",
+    "DirectionalLight",
+    "light_mesh",
+]

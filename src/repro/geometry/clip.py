@@ -1,0 +1,126 @@
+"""Near-plane clipping in homogeneous clip space.
+
+Triangles that cross the near plane must be clipped before the
+perspective divide (a vertex with w <= 0 has no screen position).  We
+clip each triangle against ``z >= -w + eps`` with Sutherland-Hodgman,
+interpolating all vertex attributes linearly in clip space, which is
+exact for projective attributes.  Fully-outside triangles vanish;
+crossing triangles become one or two triangles, keeping the original
+submission order (clipped pieces stay adjacent in the stream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class ClippedTriangles:
+    """Clip-space triangle soup after near-plane clipping.
+
+    ``clip`` is ``(n, 3, 4)`` clip coordinates; ``attrs`` is
+    ``(n, 3, k)`` interpolated attributes; ``triangle_index`` maps each
+    output triangle back to its input triangle (texture lookup, order).
+    """
+
+    clip: np.ndarray
+    attrs: np.ndarray
+    triangle_index: np.ndarray
+
+    @property
+    def n_triangles(self) -> int:
+        return len(self.clip)
+
+
+def _distance(clip_vertices: np.ndarray, eps: float) -> np.ndarray:
+    """Signed distance to the near clip half-space ``z + w >= eps``."""
+    return clip_vertices[..., 2] + clip_vertices[..., 3] - eps
+
+
+def clip_triangles_near(
+    clip: np.ndarray, attrs: np.ndarray, eps: float = 1e-6
+) -> ClippedTriangles:
+    """Clip ``(n, 3, 4)`` clip-space triangles against the near plane.
+
+    ``attrs`` carries per-vertex attributes ``(n, 3, k)`` (uv, color,
+    ...), interpolated at the clip boundary.
+    """
+    clip = np.asarray(clip, dtype=np.float64)
+    attrs = np.asarray(attrs, dtype=np.float64)
+    if clip.ndim != 3 or clip.shape[1:] != (3, 4):
+        raise ValueError("clip must be (n, 3, 4)")
+    if attrs.shape[:2] != clip.shape[:2]:
+        raise ValueError("attrs must be (n, 3, k)")
+
+    distance = _distance(clip, eps)
+    inside = distance > 0.0
+    n_inside = inside.sum(axis=1)
+
+    out_clip = []
+    out_attrs = []
+    out_index = []
+
+    # Fast path: fully-inside triangles pass through unchanged.
+    full = n_inside == 3
+    if full.any():
+        out_clip.append(clip[full])
+        out_attrs.append(attrs[full])
+        out_index.append(np.nonzero(full)[0])
+
+    # Crossing triangles: clip one at a time (they are rare).
+    crossing = np.nonzero((n_inside > 0) & (n_inside < 3))[0]
+    extra_clip = []
+    extra_attrs = []
+    extra_index = []
+    for tri in crossing:
+        polygon = []
+        for corner in range(3):
+            current = corner
+            previous = (corner + 2) % 3
+            cur_in = inside[tri, current]
+            prev_in = inside[tri, previous]
+            if cur_in != prev_in:
+                d_cur = distance[tri, current]
+                d_prev = distance[tri, previous]
+                t = d_prev / (d_prev - d_cur)
+                new_clip = clip[tri, previous] + t * (clip[tri, current] - clip[tri, previous])
+                new_attr = attrs[tri, previous] + t * (attrs[tri, current] - attrs[tri, previous])
+                polygon.append((new_clip, new_attr))
+            if cur_in:
+                polygon.append((clip[tri, current], attrs[tri, current]))
+        # Fan-triangulate the resulting polygon (3 or 4 vertices).
+        for second in range(1, len(polygon) - 1):
+            extra_clip.append(np.stack([
+                polygon[0][0], polygon[second][0], polygon[second + 1][0]
+            ]))
+            extra_attrs.append(np.stack([
+                polygon[0][1], polygon[second][1], polygon[second + 1][1]
+            ]))
+            extra_index.append(tri)
+
+    if extra_clip:
+        out_clip.append(np.stack(extra_clip))
+        out_attrs.append(np.stack(extra_attrs))
+        out_index.append(np.asarray(extra_index, dtype=np.int64))
+
+    if not out_clip:
+        k = attrs.shape[2]
+        return ClippedTriangles(
+            clip=np.empty((0, 3, 4)),
+            attrs=np.empty((0, 3, k)),
+            triangle_index=np.empty(0, dtype=np.int64),
+        )
+
+    merged_clip = np.concatenate(out_clip)
+    merged_attrs = np.concatenate(out_attrs)
+    merged_index = np.concatenate(out_index)
+    # Restore submission order: sort by source triangle index (stable),
+    # so clipped pieces slot in where the original triangle was.
+    order = np.argsort(merged_index, kind="stable")
+    return ClippedTriangles(
+        clip=merged_clip[order],
+        attrs=merged_attrs[order],
+        triangle_index=merged_index[order],
+    )

@@ -1,0 +1,36 @@
+"""Vertex lighting (the pipeline's "lighting of vertices", Section 4.1).
+
+A single directional light with ambient and diffuse terms, evaluated
+per vertex; the resulting color later modulates the filtered texture
+color (Table 2.1's "modulation with fragment color" phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .vec import normalize, vertex_normals
+
+
+@dataclass(frozen=True)
+class DirectionalLight:
+    """A directional light: ``direction`` points *toward* the light."""
+
+    direction: tuple = (0.3, 1.0, 0.4)
+    ambient: float = 0.35
+    diffuse: float = 0.65
+
+    def shade(self, normals: np.ndarray) -> np.ndarray:
+        """Per-vertex luminance given unit normals, in [0, 1]."""
+        light_dir = normalize(np.asarray(self.direction, dtype=np.float64))
+        lambert = np.clip(normals @ light_dir, 0.0, 1.0)
+        return np.clip(self.ambient + self.diffuse * lambert, 0.0, 1.0)
+
+
+def light_mesh(mesh, light: DirectionalLight = DirectionalLight()) -> np.ndarray:
+    """Compute ``(n_vertices, 3)`` shading colors for ``mesh``."""
+    normals = vertex_normals(mesh.positions, mesh.triangles)
+    luminance = light.shade(normals)
+    return np.repeat(luminance[:, None], 3, axis=1)

@@ -1,0 +1,194 @@
+"""Triangle meshes with texture coordinates.
+
+Scenes are defined in terms of triangles (paper Section 2); each
+triangle carries a texture id, and triangles are rasterized in the
+order they are specified (Section 4.1) -- this submission order is what
+produces the paper's long same-texture runlengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class Mesh:
+    """An indexed triangle mesh.
+
+    Attributes
+    ----------
+    positions:
+        ``(n_vertices, 3)`` float world/object coordinates.
+    uvs:
+        ``(n_vertices, 2)`` float texture coordinates; values outside
+        [0, 1) repeat the texture (GL_REPEAT).
+    triangles:
+        ``(n_triangles, 3)`` int vertex indices, submission order.
+    texture_ids:
+        ``(n_triangles,)`` int texture id per triangle.
+    colors:
+        Optional ``(n_vertices, 3)`` float shading colors in [0, 1];
+        defaults to white (texture shown unmodulated).
+    """
+
+    positions: np.ndarray
+    uvs: np.ndarray
+    triangles: np.ndarray
+    texture_ids: np.ndarray
+    colors: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.positions = np.asarray(self.positions, dtype=np.float64)
+        self.uvs = np.asarray(self.uvs, dtype=np.float64)
+        self.triangles = np.asarray(self.triangles, dtype=np.int64)
+        self.texture_ids = np.asarray(self.texture_ids, dtype=np.int64)
+        if self.positions.ndim != 2 or self.positions.shape[1] != 3:
+            raise ValueError("positions must be (n, 3)")
+        if self.uvs.shape != (len(self.positions), 2):
+            raise ValueError("uvs must be (n_vertices, 2)")
+        if self.triangles.ndim != 2 or self.triangles.shape[1] != 3:
+            raise ValueError("triangles must be (m, 3)")
+        if self.texture_ids.shape != (len(self.triangles),):
+            raise ValueError("texture_ids must be (n_triangles,)")
+        if len(self.triangles) and self.triangles.max() >= len(self.positions):
+            raise ValueError("triangle index out of range")
+        if self.colors is not None:
+            self.colors = np.asarray(self.colors, dtype=np.float64)
+            if self.colors.shape != (len(self.positions), 3):
+                raise ValueError("colors must be (n_vertices, 3)")
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self.positions)
+
+    @property
+    def n_triangles(self) -> int:
+        return len(self.triangles)
+
+    def transformed(self, matrix: np.ndarray) -> "Mesh":
+        """Apply a 4x4 affine transform to vertex positions."""
+        homogeneous = np.concatenate(
+            [self.positions, np.ones((self.n_vertices, 1))], axis=1
+        )
+        moved = homogeneous @ matrix.T
+        return Mesh(
+            positions=moved[:, :3] / moved[:, 3:4],
+            uvs=self.uvs.copy(),
+            triangles=self.triangles.copy(),
+            texture_ids=self.texture_ids.copy(),
+            colors=None if self.colors is None else self.colors.copy(),
+        )
+
+    @staticmethod
+    def concat(meshes) -> "Mesh":
+        """Concatenate meshes, preserving triangle submission order."""
+        meshes = list(meshes)
+        if not meshes:
+            raise ValueError("cannot concat zero meshes")
+        offsets = np.cumsum([0] + [m.n_vertices for m in meshes[:-1]])
+        has_colors = any(m.colors is not None for m in meshes)
+        colors = None
+        if has_colors:
+            colors = np.concatenate([
+                m.colors if m.colors is not None else np.ones((m.n_vertices, 3))
+                for m in meshes
+            ])
+        return Mesh(
+            positions=np.concatenate([m.positions for m in meshes]),
+            uvs=np.concatenate([m.uvs for m in meshes]),
+            triangles=np.concatenate(
+                [m.triangles + off for m, off in zip(meshes, offsets)]
+            ),
+            texture_ids=np.concatenate([m.texture_ids for m in meshes]),
+            colors=colors,
+        )
+
+
+def make_quad(
+    corners,
+    texture_id: int,
+    uv_rect=(0.0, 0.0, 1.0, 1.0),
+    subdivide: int = 1,
+) -> Mesh:
+    """A textured quad, optionally subdivided into a grid of triangles.
+
+    ``corners`` is a 4x3 array ordered counter-clockwise:
+    bottom-left, bottom-right, top-right, top-left.  ``uv_rect`` is
+    ``(u0, v0, u1, v1)``; values beyond 1 repeat the texture.
+    """
+    corners = np.asarray(corners, dtype=np.float64)
+    if corners.shape != (4, 3):
+        raise ValueError("corners must be (4, 3)")
+    if subdivide < 1:
+        raise ValueError("subdivide must be >= 1")
+    u0, v0, u1, v1 = uv_rect
+    steps = subdivide + 1
+    s = np.linspace(0.0, 1.0, steps)
+    t = np.linspace(0.0, 1.0, steps)
+    ss, tt = np.meshgrid(s, t, indexing="xy")
+    bottom = corners[0] + (corners[1] - corners[0]) * ss[..., None]
+    top = corners[3] + (corners[2] - corners[3]) * ss[..., None]
+    positions = (bottom + (top - bottom) * tt[..., None]).reshape(-1, 3)
+    uvs = np.stack(
+        [u0 + (u1 - u0) * ss, v0 + (v1 - v0) * tt], axis=-1
+    ).reshape(-1, 2)
+
+    triangles = []
+    for row in range(subdivide):
+        for col in range(subdivide):
+            a = row * steps + col
+            b = a + 1
+            c = a + steps
+            d = c + 1
+            triangles.append((a, b, d))
+            triangles.append((a, d, c))
+    triangles = np.asarray(triangles, dtype=np.int64)
+    texture_ids = np.full(len(triangles), texture_id, dtype=np.int64)
+    return Mesh(positions=positions, uvs=uvs, triangles=triangles, texture_ids=texture_ids)
+
+
+def make_grid(
+    heights: np.ndarray,
+    cell_size: float,
+    texture_id: int,
+    uv_scale: float = 1.0,
+    origin=(0.0, 0.0, 0.0),
+) -> Mesh:
+    """A heightfield terrain patch in the XZ plane.
+
+    ``heights`` is ``(rows, cols)``; vertex ``(r, c)`` sits at
+    ``origin + (c * cell, heights[r, c], r * cell)``.  UVs span
+    ``uv_scale`` copies of the texture across the patch.
+    """
+    heights = np.asarray(heights, dtype=np.float64)
+    rows, cols = heights.shape
+    if rows < 2 or cols < 2:
+        raise ValueError("heights must be at least 2x2")
+    origin = np.asarray(origin, dtype=np.float64)
+    cs, rs = np.meshgrid(np.arange(cols), np.arange(rows), indexing="xy")
+    positions = np.stack(
+        [
+            origin[0] + cs * cell_size,
+            origin[1] + heights,
+            origin[2] + rs * cell_size,
+        ],
+        axis=-1,
+    ).reshape(-1, 3)
+    uvs = np.stack(
+        [cs / (cols - 1) * uv_scale, rs / (rows - 1) * uv_scale], axis=-1
+    ).reshape(-1, 2)
+    triangles = []
+    for row in range(rows - 1):
+        for col in range(cols - 1):
+            a = row * cols + col
+            b = a + 1
+            c = a + cols
+            d = c + 1
+            triangles.append((a, b, d))
+            triangles.append((a, d, c))
+    triangles = np.asarray(triangles, dtype=np.int64)
+    texture_ids = np.full(len(triangles), texture_id, dtype=np.int64)
+    return Mesh(positions=positions, uvs=uvs, triangles=triangles, texture_ids=texture_ids)

@@ -1,0 +1,105 @@
+"""Homogeneous 4x4 transforms: the pipeline's geometry stage applies a
+perspective mapping of triangles to the 2D display (paper Section 2).
+
+Conventions follow OpenGL: right-handed eye space looking down -Z,
+clip space with visible points satisfying ``-w <= x, y, z <= w``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .vec import normalize
+
+
+def identity() -> np.ndarray:
+    return np.eye(4)
+
+
+def translate(tx: float, ty: float, tz: float) -> np.ndarray:
+    matrix = np.eye(4)
+    matrix[:3, 3] = (tx, ty, tz)
+    return matrix
+
+
+def scale(sx: float, sy: float = None, sz: float = None) -> np.ndarray:
+    if sy is None:
+        sy = sx
+    if sz is None:
+        sz = sx
+    return np.diag([sx, sy, sz, 1.0])
+
+
+def rotate_x(radians: float) -> np.ndarray:
+    c, s = np.cos(radians), np.sin(radians)
+    matrix = np.eye(4)
+    matrix[1, 1], matrix[1, 2] = c, -s
+    matrix[2, 1], matrix[2, 2] = s, c
+    return matrix
+
+
+def rotate_y(radians: float) -> np.ndarray:
+    c, s = np.cos(radians), np.sin(radians)
+    matrix = np.eye(4)
+    matrix[0, 0], matrix[0, 2] = c, s
+    matrix[2, 0], matrix[2, 2] = -s, c
+    return matrix
+
+
+def rotate_z(radians: float) -> np.ndarray:
+    c, s = np.cos(radians), np.sin(radians)
+    matrix = np.eye(4)
+    matrix[0, 0], matrix[0, 1] = c, -s
+    matrix[1, 0], matrix[1, 1] = s, c
+    return matrix
+
+
+def look_at(eye, target, up=(0.0, 1.0, 0.0)) -> np.ndarray:
+    """View matrix placing the camera at ``eye`` looking at ``target``."""
+    eye = np.asarray(eye, dtype=np.float64)
+    forward = normalize(np.asarray(target, dtype=np.float64) - eye)
+    right = normalize(np.cross(forward, np.asarray(up, dtype=np.float64)))
+    true_up = np.cross(right, forward)
+    matrix = np.eye(4)
+    matrix[0, :3] = right
+    matrix[1, :3] = true_up
+    matrix[2, :3] = -forward
+    matrix[:3, 3] = -matrix[:3, :3] @ eye
+    return matrix
+
+
+def perspective(fov_y_degrees: float, aspect: float, near: float, far: float) -> np.ndarray:
+    """OpenGL-style perspective projection."""
+    if near <= 0 or far <= near:
+        raise ValueError("require 0 < near < far")
+    f = 1.0 / np.tan(np.radians(fov_y_degrees) / 2.0)
+    matrix = np.zeros((4, 4))
+    matrix[0, 0] = f / aspect
+    matrix[1, 1] = f
+    matrix[2, 2] = (far + near) / (near - far)
+    matrix[2, 3] = 2.0 * far * near / (near - far)
+    matrix[3, 2] = -1.0
+    return matrix
+
+
+def transform_points(matrix: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Apply a 4x4 matrix to ``(n, 3)`` points -> ``(n, 4)`` clip coords."""
+    points = np.asarray(points, dtype=np.float64)
+    homogeneous = np.concatenate([points, np.ones((len(points), 1))], axis=1)
+    return homogeneous @ matrix.T
+
+
+def ndc_to_screen(clip: np.ndarray, width: int, height: int) -> tuple:
+    """Perspective divide + viewport transform.
+
+    Returns ``(screen_xy (n,2), ndc_z (n,), inv_w (n,))``.  Screen
+    origin is the top-left corner with y growing downward (raster
+    convention); a pixel's center is at integer + 0.5.
+    """
+    w = clip[:, 3]
+    inv_w = 1.0 / w
+    ndc = clip[:, :3] * inv_w[:, None]
+    screen = np.empty((len(clip), 2))
+    screen[:, 0] = (ndc[:, 0] + 1.0) * 0.5 * width
+    screen[:, 1] = (1.0 - ndc[:, 1]) * 0.5 * height
+    return screen, ndc[:, 2], inv_w

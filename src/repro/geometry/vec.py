@@ -1,0 +1,50 @@
+"""Small vector helpers shared by the geometry stage."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def normalize(vectors: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Unit-length vectors; zero vectors are returned unchanged."""
+    vectors = np.asarray(vectors, dtype=np.float64)
+    norms = np.linalg.norm(vectors, axis=axis, keepdims=True)
+    safe = np.where(norms == 0.0, 1.0, norms)
+    return vectors / safe
+
+
+def cross(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Cross product, broadcasting over leading axes."""
+    return np.cross(np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64))
+
+
+def dot(a: np.ndarray, b: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Dot product along ``axis``."""
+    return np.sum(np.asarray(a, dtype=np.float64) * np.asarray(b, dtype=np.float64), axis=axis)
+
+
+def homogenize(points: np.ndarray) -> np.ndarray:
+    """Append w=1 to ``(n, 3)`` points, giving ``(n, 4)``."""
+    points = np.asarray(points, dtype=np.float64)
+    ones = np.ones((len(points), 1))
+    return np.concatenate([points, ones], axis=1)
+
+
+def triangle_normals(positions: np.ndarray, triangles: np.ndarray) -> np.ndarray:
+    """Per-triangle unit normals for a triangle soup."""
+    p0 = positions[triangles[:, 0]]
+    p1 = positions[triangles[:, 1]]
+    p2 = positions[triangles[:, 2]]
+    return normalize(np.cross(p1 - p0, p2 - p0))
+
+
+def vertex_normals(positions: np.ndarray, triangles: np.ndarray) -> np.ndarray:
+    """Area-weighted per-vertex normals."""
+    p0 = positions[triangles[:, 0]]
+    p1 = positions[triangles[:, 1]]
+    p2 = positions[triangles[:, 2]]
+    face = np.cross(p1 - p0, p2 - p0)  # length = 2 * area: area weighting
+    normals = np.zeros_like(positions, dtype=np.float64)
+    for corner in range(3):
+        np.add.at(normals, triangles[:, corner], face)
+    return normalize(normals)

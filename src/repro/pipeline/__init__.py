@@ -1,0 +1,44 @@
+"""The full software graphics pipeline, trace recording, and the
+Table 2.1 cost model."""
+
+from .trace import TexelTrace, TraceBuilder
+from .traceio import load_trace, save_trace
+from .renderer import Renderer, RenderResult, render_trace
+from .costs import (
+    BILINEAR_INTERPOLATION,
+    LEVEL_OF_DETAIL,
+    MODULATION,
+    NEAREST_UVD,
+    OpCounts,
+    PHASE_TABLE,
+    RASTER_AND_SHADING,
+    TEXEL_COORDINATES,
+    TRIANGLE_SETUP,
+    TRILINEAR_INTERPOLATION,
+    addressing_ops,
+    fragment_cost,
+    frame_cost,
+)
+
+__all__ = [
+    "TexelTrace",
+    "TraceBuilder",
+    "save_trace",
+    "load_trace",
+    "Renderer",
+    "RenderResult",
+    "render_trace",
+    "OpCounts",
+    "PHASE_TABLE",
+    "TRIANGLE_SETUP",
+    "RASTER_AND_SHADING",
+    "LEVEL_OF_DETAIL",
+    "TEXEL_COORDINATES",
+    "NEAREST_UVD",
+    "TRILINEAR_INTERPOLATION",
+    "BILINEAR_INTERPOLATION",
+    "MODULATION",
+    "addressing_ops",
+    "fragment_cost",
+    "frame_cost",
+]

@@ -1,0 +1,118 @@
+"""Fragment-generator computational cost model (paper Table 2.1).
+
+"Typical unoptimized computational costs for each of the operations of
+a fragment generator" -- per-fragment except triangle setup.  The texel
+address calculation row is "dependent upon memory representation"; we
+resolve it from the layout's :class:`AddressingCost`, performed once
+per texel fetch (8 for trilinear, 4 for bilinear).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..texture.layout import TextureLayout
+
+
+@dataclass(frozen=True)
+class OpCounts:
+    """Operation counts for one phase of the fragment generator."""
+
+    adds: int = 0
+    shifts: int = 0
+    multiplies: int = 0
+    divides: int = 0
+    memory_accesses: int = 0
+
+    def __add__(self, other: "OpCounts") -> "OpCounts":
+        return OpCounts(
+            adds=self.adds + other.adds,
+            shifts=self.shifts + other.shifts,
+            multiplies=self.multiplies + other.multiplies,
+            divides=self.divides + other.divides,
+            memory_accesses=self.memory_accesses + other.memory_accesses,
+        )
+
+    def __mul__(self, factor: int) -> "OpCounts":
+        return OpCounts(
+            adds=self.adds * factor,
+            shifts=self.shifts * factor,
+            multiplies=self.multiplies * factor,
+            divides=self.divides * factor,
+            memory_accesses=self.memory_accesses * factor,
+        )
+
+    __rmul__ = __mul__
+
+    @property
+    def total_ops(self) -> int:
+        return self.adds + self.shifts + self.multiplies + self.divides
+
+
+#: Table 2.1, row by row.  Triangle setup is per triangle; the rest are
+#: per fragment.
+TRIANGLE_SETUP = OpCounts(adds=89, multiplies=64, divides=1)
+RASTER_AND_SHADING = OpCounts(adds=11, multiplies=1)
+LEVEL_OF_DETAIL = OpCounts(adds=9, multiplies=9)
+TEXEL_COORDINATES = OpCounts(adds=5, multiplies=5)
+NEAREST_UVD = OpCounts(adds=14)
+TRILINEAR_INTERPOLATION = OpCounts(adds=56, shifts=28, memory_accesses=8)
+BILINEAR_INTERPOLATION = OpCounts(adds=24, shifts=12, memory_accesses=4)
+MODULATION = OpCounts(adds=8, multiplies=4)
+
+PHASE_TABLE = {
+    "triangle setup (per triangle)": TRIANGLE_SETUP,
+    "rasterization and shading": RASTER_AND_SHADING,
+    "level-of-detail": LEVEL_OF_DETAIL,
+    "texel coordinates": TEXEL_COORDINATES,
+    "nearest (u,v,d)": NEAREST_UVD,
+    "trilinear interpolation": TRILINEAR_INTERPOLATION,
+    "bilinear interpolation": BILINEAR_INTERPOLATION,
+    "modulation with fragment color": MODULATION,
+}
+
+
+def addressing_ops(layout: TextureLayout, interpolation: str = "trilinear") -> OpCounts:
+    """Texel address calculation cost per fragment for ``layout``.
+
+    Performed once per texel fetch: 8 fetches for trilinear, 4 for
+    bilinear (Section 5.2.1: "the texel addressing calculations must be
+    performed eight times per fragment").
+    """
+    per_texel = layout.addressing_cost()
+    fetches = 8 if interpolation == "trilinear" else 4
+    return OpCounts(adds=per_texel.adds, shifts=per_texel.shifts) * fetches
+
+
+def fragment_cost(
+    layout: TextureLayout = None, interpolation: str = "trilinear"
+) -> OpCounts:
+    """Total per-fragment operation count (all phases except setup)."""
+    if interpolation == "trilinear":
+        interp = TRILINEAR_INTERPOLATION
+    elif interpolation == "bilinear":
+        interp = BILINEAR_INTERPOLATION
+    else:
+        raise ValueError("interpolation must be 'trilinear' or 'bilinear'")
+    total = (
+        RASTER_AND_SHADING
+        + LEVEL_OF_DETAIL
+        + TEXEL_COORDINATES
+        + NEAREST_UVD
+        + interp
+        + MODULATION
+    )
+    if layout is not None:
+        total = total + addressing_ops(layout, interpolation)
+    return total
+
+
+def frame_cost(
+    n_triangles: int,
+    n_fragments: int,
+    layout: TextureLayout = None,
+    interpolation: str = "trilinear",
+) -> OpCounts:
+    """Whole-frame operation count: setup per triangle plus per-fragment
+    work."""
+    return TRIANGLE_SETUP * n_triangles + fragment_cost(layout, interpolation) * n_fragments

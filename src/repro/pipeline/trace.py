@@ -1,0 +1,187 @@
+"""Texel access traces.
+
+"Whenever the software-based fragment generator accesses a texel from
+memory, it also makes a call to the cache simulator passing the address
+of the texel as a parameter" (paper Section 4.1).  We decouple the two:
+the renderer records a *layout-independent* trace of
+``(texture id, level, tu, tv)`` tuples in access order, and
+:meth:`TexelTrace.byte_addresses` maps the same trace onto any memory
+representation afterwards.  One render therefore serves every layout
+and cache configuration studied against that scene and rasterization
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..texture.filtering import KIND_BILINEAR, KIND_LOWER, KIND_UPPER, TexelAccesses
+
+
+@dataclass
+class TexelTrace:
+    """A frame's complete texel access stream, in access order.
+
+    Columns share length ``n_accesses``.  ``tu_raw``/``tv_raw`` are the
+    pre-wrap coordinates (texture repetition measurements);
+    ``kind`` distinguishes trilinear lower/upper level and bilinear
+    accesses (Section 3.1.2's locality metrics).
+    """
+
+    texture_id: np.ndarray
+    level: np.ndarray
+    tu: np.ndarray
+    tv: np.ndarray
+    tu_raw: np.ndarray
+    tv_raw: np.ndarray
+    kind: np.ndarray
+    n_fragments: int = 0
+    #: Optional per-access screen position of the owning fragment
+    #: (recorded when the renderer is asked to; needed by the parallel
+    #: fragment-generator study in :mod:`repro.core.parallel`).
+    x: np.ndarray = None
+    y: np.ndarray = None
+
+    @property
+    def n_accesses(self) -> int:
+        return len(self.texture_id)
+
+    def byte_addresses(self, placements) -> np.ndarray:
+        """Map the trace onto placed textures (one layout).
+
+        ``placements`` is a list indexed by texture id (from
+        :func:`repro.texture.memory.place_textures`).  Returns a flat
+        ``int64`` byte-address stream; layouts requiring k accesses per
+        texel (Williams) contribute k consecutive addresses.
+        """
+        if self.n_accesses == 0:
+            return np.empty(0, dtype=np.int64)
+        k = placements[0].layout.accesses_per_texel
+        shape = (self.n_accesses,) if k == 1 else (self.n_accesses, k)
+        addresses = np.empty(shape, dtype=np.int64)
+        pair_key = self.texture_id.astype(np.int64) * 64 + self.level
+        for key in np.unique(pair_key):
+            texture = int(key) // 64
+            level = int(key) % 64
+            rows = np.nonzero(pair_key == key)[0]
+            addresses[rows] = placements[texture].addresses(
+                level, self.tu[rows], self.tv[rows]
+            )
+        return addresses.ravel()
+
+    @property
+    def has_positions(self) -> bool:
+        return self.x is not None
+
+    def slice(self, start: int, stop: int) -> "TexelTrace":
+        """A sub-trace (used by tests)."""
+        return TexelTrace(
+            texture_id=self.texture_id[start:stop],
+            level=self.level[start:stop],
+            tu=self.tu[start:stop],
+            tv=self.tv[start:stop],
+            tu_raw=self.tu_raw[start:stop],
+            tv_raw=self.tv_raw[start:stop],
+            kind=self.kind[start:stop],
+            n_fragments=self.n_fragments,
+            x=None if self.x is None else self.x[start:stop],
+            y=None if self.y is None else self.y[start:stop],
+        )
+
+    def subset(self, mask: np.ndarray, n_fragments: int = None) -> "TexelTrace":
+        """The sub-trace selected by a boolean ``mask``, order
+        preserved (used to split work among parallel generators)."""
+        return TexelTrace(
+            texture_id=self.texture_id[mask],
+            level=self.level[mask],
+            tu=self.tu[mask],
+            tv=self.tv[mask],
+            tu_raw=self.tu_raw[mask],
+            tv_raw=self.tv_raw[mask],
+            kind=self.kind[mask],
+            n_fragments=self.n_fragments if n_fragments is None else n_fragments,
+            x=None if self.x is None else self.x[mask],
+            y=None if self.y is None else self.y[mask],
+        )
+
+
+class TraceBuilder:
+    """Accumulates per-triangle access batches into one TexelTrace."""
+
+    def __init__(self, record_positions: bool = False) -> None:
+        self._texture_id = []
+        self._level = []
+        self._tu = []
+        self._tv = []
+        self._tu_raw = []
+        self._tv_raw = []
+        self._kind = []
+        self._x = [] if record_positions else None
+        self._y = [] if record_positions else None
+        self.n_fragments = 0
+
+    @property
+    def record_positions(self) -> bool:
+        return self._x is not None
+
+    def append(self, texture_id: int, accesses: TexelAccesses, n_fragments: int,
+               fragment_x: np.ndarray = None, fragment_y: np.ndarray = None) -> None:
+        """Record the accesses of one triangle (a single texture).
+
+        ``fragment_x``/``fragment_y`` are the per-*fragment* screen
+        positions; each access inherits its owning fragment's position
+        via ``accesses.fragment_index``.
+        """
+        n = accesses.n_accesses
+        if n == 0:
+            return
+        self._texture_id.append(np.full(n, texture_id, dtype=np.int16))
+        self._level.append(accesses.level)
+        self._tu.append(accesses.tu)
+        self._tv.append(accesses.tv)
+        self._tu_raw.append(accesses.tu_raw)
+        self._tv_raw.append(accesses.tv_raw)
+        self._kind.append(accesses.kind)
+        if self._x is not None:
+            if fragment_x is None or fragment_y is None:
+                raise ValueError("record_positions builder needs fragment_x/y")
+            self._x.append(fragment_x[accesses.fragment_index].astype(np.int16))
+            self._y.append(fragment_y[accesses.fragment_index].astype(np.int16))
+        self.n_fragments += n_fragments
+
+    def build(self) -> TexelTrace:
+        if not self._texture_id:
+            empty32 = np.empty(0, dtype=np.int32)
+            empty16 = np.empty(0, dtype=np.int16)
+            return TexelTrace(
+                texture_id=np.empty(0, dtype=np.int16),
+                level=np.empty(0, dtype=np.int16),
+                tu=empty32, tv=empty32, tu_raw=empty32, tv_raw=empty32,
+                kind=np.empty(0, dtype=np.uint8),
+                n_fragments=0,
+                x=empty16 if self._x is not None else None,
+                y=empty16 if self._y is not None else None,
+            )
+        return TexelTrace(
+            texture_id=np.concatenate(self._texture_id),
+            level=np.concatenate(self._level),
+            tu=np.concatenate(self._tu),
+            tv=np.concatenate(self._tv),
+            tu_raw=np.concatenate(self._tu_raw),
+            tv_raw=np.concatenate(self._tv_raw),
+            kind=np.concatenate(self._kind),
+            n_fragments=self.n_fragments,
+            x=np.concatenate(self._x) if self._x is not None else None,
+            y=np.concatenate(self._y) if self._y is not None else None,
+        )
+
+
+__all__ = [
+    "TexelTrace",
+    "TraceBuilder",
+    "KIND_BILINEAR",
+    "KIND_LOWER",
+    "KIND_UPPER",
+]

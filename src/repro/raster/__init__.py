@@ -1,0 +1,27 @@
+"""Fragment generation substrate: rasterization, traversal orders,
+depth test and framebuffer (paper Sections 2 and 6)."""
+
+from .triangle import FragmentBatch, rasterize_triangle
+from .order import (
+    HilbertOrder,
+    HorizontalOrder,
+    TiledOrder,
+    TraversalOrder,
+    VerticalOrder,
+    make_order,
+)
+from .zbuffer import ZBuffer
+from .framebuffer import Framebuffer
+
+__all__ = [
+    "FragmentBatch",
+    "rasterize_triangle",
+    "TraversalOrder",
+    "HorizontalOrder",
+    "VerticalOrder",
+    "TiledOrder",
+    "HilbertOrder",
+    "make_order",
+    "ZBuffer",
+    "Framebuffer",
+]

@@ -1,0 +1,57 @@
+"""RGBA framebuffer with PPM/PNG export (the pipeline's display
+stage)."""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+
+class Framebuffer:
+    """An RGB framebuffer storing 8-bit color."""
+
+    def __init__(self, width: int, height: int, clear_color=(30, 30, 40)):
+        if width < 1 or height < 1:
+            raise ValueError("framebuffer dimensions must be positive")
+        self.width = width
+        self.height = height
+        self.clear_color = np.asarray(clear_color, dtype=np.uint8)
+        self.pixels = np.empty((height, width, 3), dtype=np.uint8)
+        self.clear()
+
+    def clear(self) -> None:
+        self.pixels[:, :] = self.clear_color
+
+    def write(self, x: np.ndarray, y: np.ndarray, rgb: np.ndarray) -> None:
+        """Store float RGB in [0, 255] at integer pixel coordinates."""
+        self.pixels[y, x] = np.clip(rgb, 0, 255).astype(np.uint8)
+
+    def to_ppm(self, path: str) -> None:
+        """Write a binary PPM (P6) image, viewable anywhere."""
+        header = f"P6\n{self.width} {self.height}\n255\n".encode("ascii")
+        with open(path, "wb") as handle:
+            handle.write(header)
+            handle.write(self.pixels.tobytes())
+
+    def to_png(self, path: str) -> None:
+        """Write a PNG image (pure stdlib: zlib + struct)."""
+        raw = b"".join(
+            b"\x00" + self.pixels[row].tobytes() for row in range(self.height)
+        )
+        def chunk(tag: bytes, payload: bytes) -> bytes:
+            body = tag + payload
+            return struct.pack(">I", len(payload)) + body + struct.pack(
+                ">I", zlib.crc32(body) & 0xFFFFFFFF
+            )
+        header = struct.pack(">IIBBBBB", self.width, self.height, 8, 2, 0, 0, 0)
+        with open(path, "wb") as handle:
+            handle.write(b"\x89PNG\r\n\x1a\n")
+            handle.write(chunk(b"IHDR", header))
+            handle.write(chunk(b"IDAT", zlib.compress(raw, 6)))
+            handle.write(chunk(b"IEND", b""))
+
+    def checksum(self) -> int:
+        """A cheap content hash used by integration tests."""
+        return int(np.uint64(self.pixels.astype(np.uint64).sum()))

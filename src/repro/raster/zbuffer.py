@@ -1,0 +1,37 @@
+"""Z-buffer hidden surface removal (the pipeline's third stage).
+
+The paper's pipeline textures every generated fragment and resolves
+visibility afterwards with a z-buffer (Section 2), so texture traffic
+is independent of occlusion; the z-buffer here only decides which
+fragment colors land in the framebuffer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ZBuffer:
+    """A floating-point depth buffer; smaller NDC z is closer."""
+
+    def __init__(self, width: int, height: int):
+        if width < 1 or height < 1:
+            raise ValueError("zbuffer dimensions must be positive")
+        self.width = width
+        self.height = height
+        self.depth = np.full((height, width), np.inf)
+
+    def clear(self) -> None:
+        self.depth.fill(np.inf)
+
+    def test_and_write(self, x: np.ndarray, y: np.ndarray, z: np.ndarray) -> np.ndarray:
+        """Depth-test fragments and update the buffer.
+
+        Fragments must have unique ``(x, y)`` within one call (true for
+        the fragments of a single triangle).  Returns the boolean pass
+        mask.
+        """
+        current = self.depth[y, x]
+        passed = z < current
+        self.depth[y[passed], x[passed]] = z[passed]
+        return passed

@@ -1,0 +1,51 @@
+"""The four benchmark scenes (paper Section 4.2, Table 4.1) and scene
+characterization."""
+
+from .base import Scene, SceneData, scaled_count, scaled_pow2
+from .flight import FlightScene
+from .town import TownScene
+from .guitar import GuitarScene
+from .goblet import GobletScene
+from .stats import (
+    SceneCharacteristics,
+    characterize,
+    distinct_texels,
+    texture_used_nbytes,
+)
+
+#: Scene registry in the paper's Table 4.1 order.
+ALL_SCENES = {
+    "flight": FlightScene,
+    "town": TownScene,
+    "guitar": GuitarScene,
+    "goblet": GobletScene,
+}
+
+
+def make_scene(name: str, **kwargs) -> Scene:
+    """Construct a scene generator by name."""
+    try:
+        cls = ALL_SCENES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scene {name!r}; expected one of {sorted(ALL_SCENES)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "Scene",
+    "SceneData",
+    "scaled_count",
+    "scaled_pow2",
+    "FlightScene",
+    "TownScene",
+    "GuitarScene",
+    "GobletScene",
+    "SceneCharacteristics",
+    "characterize",
+    "distinct_texels",
+    "texture_used_nbytes",
+    "ALL_SCENES",
+    "make_scene",
+]

@@ -1,0 +1,95 @@
+"""The Flight scene (paper Figure 4.1, Table 4.1).
+
+"Uses several 1024x1024 pixel satellite images as textures and maps
+these textures onto a geometric model of the terrain.  An important
+characteristic of the Flight scene is that it has large variations in
+level-of-detail as a result of the mountainous terrain."
+
+Paper characteristics: 1280x1024 pixels, 9152 triangles of ~294 px
+average area, 15 textures totalling 56 MB, no texel repetition (1.0x),
+trilinear filtering, horizontal rasterization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.mesh import Mesh, make_grid
+from ..geometry.transform import look_at, perspective
+from ..texture.image import TextureSet
+from ..texture.procedural import fractal_noise, satellite
+from .base import Scene, SceneData, scaled_count, scaled_pow2
+
+
+def _terrain_heights(rows: int, cols: int, amplitude: float, seed: int) -> np.ndarray:
+    """Mountainous fractal heights over the full terrain grid."""
+    noise = fractal_noise(cols, rows, octaves=5, seed=seed)
+    ridges = 1.0 - np.abs(2.0 * noise - 1.0)  # ridge-line sharpening
+    return amplitude * (0.35 * noise + 0.65 * ridges**2)
+
+
+class FlightScene(Scene):
+    """A low-altitude flight over mountainous satellite-textured
+    terrain, split into patches each mapped to its own texture."""
+
+    name = "flight"
+    paper_width = 1280
+    paper_height = 1024
+    paper_rasterization = "horizontal"
+
+    def __init__(self, seed: int = 1):
+        self.seed = seed
+
+    def build(self, scale: float = 0.5, time: float = 0.0) -> SceneData:
+        """Build the scene; ``time`` (seconds) flies the camera forward
+        across the terrain."""
+        width, height = self.frame_size(scale)
+
+        # Paper: 15 textures, mostly 1024x1024 -> 56 MB mip-mapped.
+        tex_side = scaled_pow2(1024, scale)
+        textures = TextureSet()
+        patch_grid = 4  # 4x4 texture patches (one shared), 15 satellite maps
+        texture_grid = np.arange(patch_grid * patch_grid) % 15
+        for index in range(15):
+            textures.add(satellite(tex_side, tex_side, seed=self.seed * 50 + index,
+                                   name=f"satellite-{index}"))
+
+        # Terrain: paper has 9152 triangles; a 4x4 grid of patches with
+        # n x n quads each gives 2 * 16 * n^2 -> n = 17 at scale 1.
+        patch_quads = scaled_count(17, scale, minimum=4)
+        cell_size = 1.0
+        patch_span = patch_quads * cell_size
+        amplitude = 0.22 * patch_span * patch_grid
+
+        rows = cols = patch_grid * patch_quads + 1
+        heights = _terrain_heights(rows, cols, amplitude, seed=self.seed)
+
+        meshes = []
+        for py in range(patch_grid):
+            for px in range(patch_grid):
+                r0 = py * patch_quads
+                c0 = px * patch_quads
+                patch_heights = heights[r0:r0 + patch_quads + 1, c0:c0 + patch_quads + 1]
+                texture_id = int(texture_grid[py * patch_grid + px])
+                meshes.append(make_grid(
+                    patch_heights, cell_size=cell_size, texture_id=texture_id,
+                    uv_scale=1.0,
+                    origin=(c0 * cell_size, 0.0, r0 * cell_size),
+                ))
+        mesh = Mesh.concat(meshes)
+
+        # Camera: low over the terrain near one edge, looking across it
+        # toward the horizon -- strong level-of-detail variation.
+        span = patch_grid * patch_span
+        advance = 0.02 * span * time
+        eye = (span * 0.5, amplitude * 1.25, span * 0.98 - advance)
+        target = (span * 0.5, amplitude * 0.25, span * 0.05 - advance)
+        view = look_at(eye=eye, target=target)
+        projection = perspective(60.0, width / height, near=0.1 * patch_span,
+                                 far=4.0 * span)
+        return SceneData(
+            name=self.name, width=width, height=height,
+            mesh=mesh, textures=textures,
+            view=view, projection=projection, scale=scale,
+            paper_rasterization=self.paper_rasterization,
+        )

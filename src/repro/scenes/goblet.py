@@ -1,0 +1,107 @@
+"""The Goblet scene (paper Figure 4.4, Table 4.1).
+
+"A single texture wrapped around a goblet ... characterized by its use
+of small triangles to make up the curved surface and by the variations
+in level-of-detail that occur when the surface becomes 90 degrees to
+the viewing angle."
+
+Paper characteristics: 800x800 pixels, 7200 triangles of ~41 px average
+area, one texture, 1.4 MB texture storage, trilinear filtering,
+horizontal rasterization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.mesh import Mesh
+from ..geometry.transform import look_at, perspective
+from ..texture.image import TextureSet
+from ..texture.procedural import marble
+from .base import Scene, SceneData, scaled_count, scaled_pow2
+
+
+def _goblet_profile(t: np.ndarray) -> np.ndarray:
+    """Radius of the goblet surface as a function of height fraction
+    ``t`` in [0, 1]: base, stem, then a flaring bowl."""
+    radius = np.empty_like(t)
+    base = t < 0.12
+    stem = (t >= 0.12) & (t < 0.45)
+    bowl = t >= 0.45
+    radius[base] = 0.50 - 2.8 * t[base]
+    radius[stem] = 0.16 + 0.02 * np.sin((t[stem] - 0.12) * 12.0)
+    tb = (t[bowl] - 0.45) / 0.55
+    radius[bowl] = 0.18 + 0.42 * np.sqrt(tb) * (1.0 - 0.25 * tb)
+    return radius
+
+
+def surface_of_revolution(
+    n_around: int, n_rings: int, height: float = 2.0, texture_id: int = 0
+) -> Mesh:
+    """Revolve the goblet profile around the Y axis.
+
+    ``u`` wraps once around the circumference, ``v`` runs along the
+    profile; the closing seam reuses texture coordinates past 1.0
+    (GL_REPEAT), giving the paper's slight (~1.1x) texel repetition.
+    """
+    t = np.linspace(0.0, 1.0, n_rings + 1)
+    angles = np.linspace(0.0, 2.0 * np.pi, n_around + 1)
+
+    aa, tt = np.meshgrid(angles, t, indexing="xy")
+    rr = _goblet_profile(tt)
+    positions = np.stack(
+        [rr * np.cos(aa), tt * height, rr * np.sin(aa)], axis=-1
+    ).reshape(-1, 3)
+    uvs = np.stack([aa / (2.0 * np.pi), tt], axis=-1).reshape(-1, 2)
+
+    cols = n_around + 1
+    triangles = []
+    for ring in range(n_rings):
+        for seg in range(n_around):
+            a = ring * cols + seg
+            b = a + 1
+            c = a + cols
+            d = c + 1
+            triangles.append((a, b, d))
+            triangles.append((a, d, c))
+    triangles = np.asarray(triangles, dtype=np.int64)
+    texture_ids = np.full(len(triangles), texture_id, dtype=np.int64)
+    return Mesh(positions=positions, uvs=uvs, triangles=triangles, texture_ids=texture_ids)
+
+
+class GobletScene(Scene):
+    """Surface-of-revolution goblet with one marble texture."""
+
+    name = "goblet"
+    paper_width = 800
+    paper_height = 800
+    paper_rasterization = "horizontal"
+
+    def __init__(self, seed: int = 4):
+        self.seed = seed
+
+    def build(self, scale: float = 0.5, time: float = 0.0) -> SceneData:
+        """Build the scene; ``time`` (seconds) orbits the camera a few
+        degrees per second for multi-frame studies."""
+        width, height = self.frame_size(scale)
+        # Paper: 7200 triangles = 2 * 60 * 60 at scale 1.
+        n_around = scaled_count(60, scale, minimum=8)
+        n_rings = scaled_count(60, scale, minimum=8)
+        mesh = surface_of_revolution(n_around, n_rings, texture_id=0)
+
+        # Paper: 1.4 MB mip-mapped storage -> one 512x512 texture.
+        tex_side = scaled_pow2(512, scale)
+        textures = TextureSet()
+        textures.add(marble(tex_side, tex_side, seed=self.seed, name="goblet-marble"))
+
+        angle = np.radians(6.0) * time
+        radius = 3.9
+        eye = (radius * np.sin(angle), 1.8, radius * np.cos(angle))
+        view = look_at(eye=eye, target=(0.0, 0.95, 0.0))
+        projection = perspective(45.0, width / height, near=0.5, far=20.0)
+        return SceneData(
+            name=self.name, width=width, height=height,
+            mesh=mesh, textures=textures,
+            view=view, projection=projection, scale=scale,
+            paper_rasterization=self.paper_rasterization,
+        )

@@ -1,0 +1,176 @@
+"""The Guitar scene (paper Figure 4.3, Table 4.1).
+
+"Another application where textures are mapped onto flat surfaces.  It
+differs from the Town scene in that the textures are larger and they do
+not appear uniformly oriented in the image of the scene."
+
+Paper characteristics: 800x800 pixels, 719 triangles of ~1867 px
+average area (large triangles), 8 textures totalling 4.9 MB, 1.7x
+texel repetition, trilinear filtering, horizontal rasterization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.mesh import Mesh, make_quad
+from ..geometry.transform import look_at, perspective, rotate_z
+from ..texture.image import TextureSet
+from ..texture.procedural import marble, wood
+from .base import Scene, SceneData, scaled_count, scaled_pow2
+
+
+def _ellipse_fan(
+    center, rx: float, ry: float, n_segments: int, texture_id: int,
+    uv_scale: float = 1.0, z: float = 0.0,
+) -> Mesh:
+    """A filled ellipse in the XY plane as a triangle fan."""
+    angles = np.linspace(0.0, 2.0 * np.pi, n_segments + 1)
+    ring = np.stack([
+        center[0] + rx * np.cos(angles),
+        center[1] + ry * np.sin(angles),
+        np.full_like(angles, z),
+    ], axis=-1)
+    positions = np.concatenate([[np.array([center[0], center[1], z])], ring])
+    uvs = np.empty((len(positions), 2))
+    uvs[:, 0] = (positions[:, 0] - (center[0] - rx)) / (2 * rx) * uv_scale
+    uvs[:, 1] = (positions[:, 1] - (center[1] - ry)) / (2 * ry) * uv_scale
+    triangles = np.array([
+        [0, i + 1, i + 2] for i in range(n_segments)
+    ], dtype=np.int64)
+    texture_ids = np.full(len(triangles), texture_id, dtype=np.int64)
+    return Mesh(positions=positions, uvs=uvs, triangles=triangles, texture_ids=texture_ids)
+
+
+class GuitarScene(Scene):
+    """A guitar of large wood-textured surfaces at mixed orientations,
+    lying on a textured tabletop."""
+
+    name = "guitar"
+    paper_width = 800
+    paper_height = 800
+    paper_rasterization = "horizontal"
+
+    def __init__(self, seed: int = 3):
+        self.seed = seed
+
+    def build(self, scale: float = 0.5, time: float = 0.0) -> SceneData:
+        """Build the scene; ``time`` (seconds) dollies the camera in
+        slowly for multi-frame studies."""
+        width, height = self.frame_size(scale)
+
+        # Paper: 8 textures totalling 4.9 MB mip-mapped -> mostly
+        # 512x512 plus a couple of 512x256.
+        tex = scaled_pow2(512, scale)
+        half = scaled_pow2(256, scale)
+        textures = TextureSet()
+        table_id = textures.add(wood(tex, tex, seed=self.seed, name="tabletop"))
+        body_id = textures.add(wood(tex, tex, seed=self.seed + 1, name="body"))
+        pickguard_id = textures.add(marble(half, half, seed=self.seed + 2, name="pickguard"))
+        neck_id = textures.add(wood(half, tex, seed=self.seed + 3, name="neck"))
+        head_id = textures.add(wood(half, half, seed=self.seed + 4, name="head"))
+        bridge_id = textures.add(marble(half, half, seed=self.seed + 5, name="bridge"))
+        cloth_id = textures.add(marble(tex, tex, seed=self.seed + 6, name="cloth"))
+        trim_id = textures.add(wood(tex, half, seed=self.seed + 7, name="trim"))
+
+        subdivide = max(scaled_count(6, scale, minimum=1), 1)
+        fan_segments = scaled_count(140, scale, minimum=16)
+        meshes = []
+
+        # Tabletop fills the frame, texture repeated ~2x: the paper's
+        # 1.7x average repetition comes mostly from here.
+        meshes.append(make_quad(
+            np.array([
+                [-6.0, -6.0, -1.0],
+                [6.0, -6.0, -1.0],
+                [6.0, 6.0, -1.0],
+                [-6.0, 6.0, -1.0],
+            ]),
+            texture_id=table_id, uv_rect=(0.0, 0.0, 2.0, 2.0),
+            subdivide=subdivide,
+        ))
+        # A cloth under the guitar, rotated ~20 degrees.
+        cloth = make_quad(
+            np.array([
+                [-3.4, -3.2, -0.5],
+                [3.4, -3.2, -0.5],
+                [3.4, 3.2, -0.5],
+                [-3.4, 3.2, -0.5],
+            ]),
+            texture_id=cloth_id, uv_rect=(0.0, 0.0, 1.5, 1.5),
+            subdivide=subdivide,
+        ).transformed(rotate_z(np.radians(20.0)))
+        meshes.append(cloth)
+
+        # Guitar body: two overlapping ellipse fans, rotated ~40 deg.
+        tilt = rotate_z(np.radians(-40.0))
+        lower_bout = _ellipse_fan((0.0, -1.0), 1.9, 1.6, fan_segments, body_id).transformed(tilt)
+        upper_bout = _ellipse_fan((0.0, 0.9), 1.5, 1.25, fan_segments, body_id).transformed(tilt)
+        meshes.extend([lower_bout, upper_bout])
+
+        # Pickguard (small rotated quad on the body).
+        meshes.append(make_quad(
+            np.array([
+                [0.3, -1.9, 0.1],
+                [1.5, -1.6, 0.1],
+                [1.3, -0.2, 0.1],
+                [0.1, -0.5, 0.1],
+            ]),
+            texture_id=pickguard_id, subdivide=max(subdivide // 2, 1),
+        ).transformed(tilt))
+
+        # Neck: a long thin quad at yet another angle (~50 degrees).
+        neck = make_quad(
+            np.array([
+                [-0.35, 0.0, 0.1],
+                [0.35, 0.0, 0.1],
+                [0.28, 4.6, 0.1],
+                [-0.28, 4.6, 0.1],
+            ]),
+            texture_id=neck_id, uv_rect=(0.0, 0.0, 1.0, 3.0),
+            subdivide=subdivide,
+        ).transformed(rotate_z(np.radians(-40.0)))
+        meshes.append(neck.transformed(np.eye(4)))
+
+        # Headstock at the end of the neck.
+        head = make_quad(
+            np.array([
+                [-0.55, 4.6, 0.15],
+                [0.55, 4.6, 0.15],
+                [0.45, 5.9, 0.15],
+                [-0.45, 5.9, 0.15],
+            ]),
+            texture_id=head_id, subdivide=max(subdivide // 2, 1),
+        ).transformed(rotate_z(np.radians(-40.0)))
+        meshes.append(head)
+
+        # Bridge and a trim strip, differently oriented again.
+        meshes.append(make_quad(
+            np.array([
+                [-0.8, -2.3, 0.12],
+                [0.8, -2.3, 0.12],
+                [0.8, -1.8, 0.12],
+                [-0.8, -1.8, 0.12],
+            ]),
+            texture_id=bridge_id, subdivide=max(subdivide // 2, 1),
+        ).transformed(tilt))
+        meshes.append(make_quad(
+            np.array([
+                [-5.6, -5.6, -0.8],
+                [5.6, -5.6, -0.8],
+                [5.6, -4.6, -0.8],
+                [-5.6, -4.6, -0.8],
+            ]),
+            texture_id=trim_id, uv_rect=(0.0, 0.0, 2.0, 1.0),
+            subdivide=max(subdivide // 2, 1),
+        ).transformed(rotate_z(np.radians(70.0))))
+
+        mesh = Mesh.concat(meshes)
+        view = look_at(eye=(0.0, 0.0, 12.0 - 0.4 * time), target=(0.0, 0.0, 0.0))
+        projection = perspective(45.0, width / height, near=1.0, far=50.0)
+        return SceneData(
+            name=self.name, width=width, height=height,
+            mesh=mesh, textures=textures,
+            view=view, projection=projection, scale=scale,
+            paper_rasterization=self.paper_rasterization,
+        )

@@ -1,0 +1,116 @@
+"""Scene characterization (paper Table 4.1).
+
+Re-measures, for any scene, the properties the paper tabulates:
+triangle count and average area/width/height in pixels, texture count,
+mip-mapped texture storage, the amount and fraction of texture actually
+referenced, and the number of textured pixels.  The benchmark harness
+uses this to validate that the procedural scenes land near the paper's
+published characteristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry.clip import clip_triangles_near
+from ..geometry.transform import ndc_to_screen
+from ..pipeline.renderer import RenderResult
+from ..texture.image import TEXEL_NBYTES
+from .base import SceneData
+
+
+@dataclass
+class SceneCharacteristics:
+    """Table 4.1's row for one scene."""
+
+    name: str
+    width: int
+    height: int
+    n_triangles: int
+    avg_triangle_area: float
+    avg_triangle_width: float
+    avg_triangle_height: float
+    n_textures: int
+    texture_storage_mb: float
+    texture_used_mb: float
+    texture_used_fraction: float
+    pixels_textured_millions: float
+
+    def row(self) -> list:
+        """Values in Table 4.1's column order."""
+        return [
+            self.name,
+            f"{self.width}x{self.height}",
+            self.n_triangles,
+            round(self.avg_triangle_area),
+            round(self.avg_triangle_width),
+            round(self.avg_triangle_height),
+            self.n_textures,
+            round(self.texture_storage_mb, 2),
+            round(self.texture_used_mb, 2),
+            f"{100 * self.texture_used_fraction:.0f}%",
+            round(self.pixels_textured_millions, 2),
+        ]
+
+
+def distinct_texels(trace) -> int:
+    """Number of distinct (texture, level, texel) tuples referenced."""
+    if trace.n_accesses == 0:
+        return 0
+    key = (
+        (trace.texture_id.astype(np.int64) * 64 + trace.level) << 40
+    ) | (trace.tv.astype(np.int64) << 20) | trace.tu.astype(np.int64)
+    return len(np.unique(key))
+
+
+def texture_used_nbytes(trace) -> int:
+    """Bytes of texture data actually referenced by the frame."""
+    return distinct_texels(trace) * TEXEL_NBYTES
+
+
+def _triangle_screen_stats(scene: SceneData) -> tuple:
+    """Average on-screen bbox width/height of the scene's triangles."""
+    mesh = scene.mesh
+    mvp = scene.projection @ scene.view
+    homogeneous = np.concatenate([mesh.positions, np.ones((mesh.n_vertices, 1))], axis=1)
+    clip_vertices = homogeneous @ mvp.T
+    tri_clip = clip_vertices[mesh.triangles]
+    dummy_attrs = np.zeros((len(tri_clip), 3, 1))
+    clipped = clip_triangles_near(tri_clip, dummy_attrs)
+    if clipped.n_triangles == 0:
+        return 0.0, 0.0
+    screen, _, _ = ndc_to_screen(clipped.clip.reshape(-1, 4), scene.width, scene.height)
+    screen = screen.reshape(-1, 3, 2)
+    x = np.clip(screen[:, :, 0], 0, scene.width)
+    y = np.clip(screen[:, :, 1], 0, scene.height)
+    widths = x.max(axis=1) - x.min(axis=1)
+    heights = y.max(axis=1) - y.min(axis=1)
+    visible = (widths > 0) & (heights > 0)
+    if not visible.any():
+        return 0.0, 0.0
+    return float(widths[visible].mean()), float(heights[visible].mean())
+
+
+def characterize(scene: SceneData, result: RenderResult) -> SceneCharacteristics:
+    """Measure Table 4.1's characteristics from a rendered frame."""
+    rasterized = max(result.n_triangles_rasterized, 1)
+    avg_area = result.n_fragments / rasterized
+    avg_width, avg_height = _triangle_screen_stats(scene)
+    storage = scene.texture_storage_nbytes
+    used = texture_used_nbytes(result.trace)
+    return SceneCharacteristics(
+        name=scene.name,
+        width=scene.width,
+        height=scene.height,
+        n_triangles=result.n_triangles_submitted,
+        avg_triangle_area=avg_area,
+        avg_triangle_width=avg_width,
+        avg_triangle_height=avg_height,
+        n_textures=scene.n_textures,
+        texture_storage_mb=storage / (1 << 20),
+        texture_used_mb=used / (1 << 20),
+        texture_used_fraction=used / storage if storage else 0.0,
+        pixels_textured_millions=result.n_fragments / 1e6,
+    )

@@ -1,0 +1,71 @@
+"""Texture substrate: images, mip maps, memory representations,
+allocation, and filtering (paper Sections 2, 4.1, 5, 6.2)."""
+
+from .image import TEXEL_NBYTES, TextureImage, TextureSet, is_power_of_two, log2_int
+from .mipmap import MipMap, build_mipmaps, downsample
+from .layout import (
+    AddressingCost,
+    Blocked6DLayout,
+    BlockedLayout,
+    NonblockedLayout,
+    PaddedBlockedLayout,
+    PlacedLevel,
+    TextureLayout,
+    TexturePlan,
+    WilliamsLayout,
+    make_layout,
+)
+from .memory import PlacedTexture, TextureMemory, place_textures
+from .filtering import (
+    KIND_BILINEAR,
+    KIND_LOWER,
+    KIND_UPPER,
+    TexelAccesses,
+    filter_colors,
+    generate_accesses,
+)
+from .compression import (
+    VQCompressedLayout,
+    VQTexture,
+    compress,
+    decompress,
+)
+from .rendertarget import framebuffer_to_texture, flush_for_texture_update
+from . import procedural
+
+__all__ = [
+    "TEXEL_NBYTES",
+    "TextureImage",
+    "TextureSet",
+    "is_power_of_two",
+    "log2_int",
+    "MipMap",
+    "build_mipmaps",
+    "downsample",
+    "AddressingCost",
+    "TextureLayout",
+    "NonblockedLayout",
+    "BlockedLayout",
+    "PaddedBlockedLayout",
+    "Blocked6DLayout",
+    "WilliamsLayout",
+    "PlacedLevel",
+    "TexturePlan",
+    "make_layout",
+    "PlacedTexture",
+    "TextureMemory",
+    "place_textures",
+    "KIND_BILINEAR",
+    "KIND_LOWER",
+    "KIND_UPPER",
+    "TexelAccesses",
+    "filter_colors",
+    "generate_accesses",
+    "VQCompressedLayout",
+    "VQTexture",
+    "compress",
+    "decompress",
+    "framebuffer_to_texture",
+    "flush_for_texture_update",
+    "procedural",
+]

@@ -1,0 +1,196 @@
+"""Vector-quantized compressed textures (paper Section 8 future work).
+
+"A promising approach for rendering directly from compressed textures
+has been proposed in the literature [Beers, Agrawala, Chaddha,
+SIGGRAPH'96].  In future work, it would be interesting to study the
+interaction between compressed representations of textures and cache
+architectures."
+
+This module implements that study's substrate: Beers-style vector
+quantization.  Texels are grouped into 2x2 blocks; each block is
+replaced by a one-byte index into a per-texture codebook of 256
+representative blocks.  The memory system then only ever fetches the
+*index plane* (a 16:1 compression of the RGBA data); the 4 KB codebook
+lives on chip next to the filter (as in TexRAM-style designs), so its
+accesses never reach the cache.
+
+Two pieces are provided:
+
+* :class:`VQCompressedLayout` -- a :class:`TextureLayout` mapping texel
+  coordinates to index-plane byte addresses, with the index plane
+  itself stored in square blocks (composing Section 5.3's blocking
+  with compression);
+* :func:`compress` / :func:`decompress` -- an actual VQ encoder
+  (greedy codebook from sampled blocks + nearest-neighbor assignment)
+  so image output and quality measurements are real, not stubbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .image import TextureImage, is_power_of_two, log2_int
+from .layout import AddressingCost, PlacedLevel, TexturePlan, TextureLayout
+
+#: Compressed block dimensions (Beers et al. use 2x2 RGB blocks).
+VQ_BLOCK = 2
+#: Codebook entries addressable by a one-byte index.
+CODEBOOK_SIZE = 256
+#: Bytes per codebook entry (2x2 RGBA texels).
+CODEBOOK_ENTRY_NBYTES = VQ_BLOCK * VQ_BLOCK * 4
+
+
+class VQCompressedLayout(TextureLayout):
+    """Address layout for VQ-compressed textures.
+
+    Each 2x2 texel block is one byte in the index plane; index planes
+    are stored per mip level in square ``index_block_w`` blocks (the
+    Section 5.3 blocking, applied to indices).  Four texels therefore
+    share one byte of memory traffic -- the compression the paper's
+    future-work section wants to study against the cache.
+    """
+
+    name = "vq-compressed"
+
+    def __init__(self, index_block_w: int = 8):
+        if not is_power_of_two(index_block_w):
+            raise ValueError("index_block_w must be a power of two")
+        self.index_block_w = index_block_w
+        self.lbw = log2_int(index_block_w)
+        self.block_bytes = index_block_w * index_block_w
+        self.name = f"vq{index_block_w}x{index_block_w}"
+
+    def place_texture(self, level_shapes) -> TexturePlan:
+        levels = []
+        offset = 0
+        for width, height in level_shapes:
+            index_w = max(width >> 1, 1)
+            index_h = max(height >> 1, 1)
+            blocks_per_row = max(index_w >> self.lbw, 1)
+            block_rows = max(index_h >> self.lbh_for(index_h), 1)
+            levels.append(PlacedLevel(
+                base=offset, width=width, height=height,
+                meta={"blocks_per_row": blocks_per_row},
+            ))
+            offset += blocks_per_row * block_rows * self.block_bytes
+        return TexturePlan(total_nbytes=offset, levels=levels)
+
+    def lbh_for(self, index_h: int) -> int:
+        """Block rows use the same (square) block dimension."""
+        return self.lbw
+
+    def addresses(self, level: PlacedLevel, tu, tv):
+        tu = np.asarray(tu, dtype=np.int64)
+        tv = np.asarray(tv, dtype=np.int64)
+        index_u = tu >> 1
+        index_v = tv >> 1
+        block_x = index_u >> self.lbw
+        block_y = index_v >> self.lbw
+        sub_x = index_u & (self.index_block_w - 1)
+        sub_y = index_v & (self.index_block_w - 1)
+        block_index = block_y * level.meta["blocks_per_row"] + block_x
+        return (level.base + block_index * self.block_bytes
+                + (sub_y << self.lbw) + sub_x)
+
+    def addressing_cost(self) -> AddressingCost:
+        # One extra constant shift pair over the blocked representation
+        # (the >>1 block-coordinate extraction is wiring).
+        return AddressingCost(adds=4, shifts=1, const_shifts=6, masks=2)
+
+
+@dataclass
+class VQTexture:
+    """A VQ-compressed image: per-block codebook indices + codebook."""
+
+    indices: np.ndarray  # (index_h, index_w) uint8
+    codebook: np.ndarray  # (CODEBOOK_SIZE, VQ_BLOCK, VQ_BLOCK, 4) uint8
+    width: int
+    height: int
+
+    @property
+    def compressed_nbytes(self) -> int:
+        """Index plane bytes (the part that lives in texture memory)."""
+        return self.indices.size
+
+    @property
+    def codebook_nbytes(self) -> int:
+        return self.codebook.size
+
+    @property
+    def compression_ratio(self) -> float:
+        """Original texel bytes over fetched (index) bytes."""
+        return (self.width * self.height * 4) / self.compressed_nbytes
+
+
+def _blocks_of(texels: np.ndarray) -> np.ndarray:
+    """Reshape an (h, w, 4) image into (n_blocks, 2, 2, 4) blocks."""
+    height, width = texels.shape[:2]
+    blocked = texels.reshape(height // VQ_BLOCK, VQ_BLOCK,
+                             width // VQ_BLOCK, VQ_BLOCK, 4)
+    return blocked.transpose(0, 2, 1, 3, 4).reshape(-1, VQ_BLOCK, VQ_BLOCK, 4)
+
+
+def compress(image: TextureImage, seed: int = 0) -> VQTexture:
+    """Vector-quantize ``image`` with a 256-entry codebook.
+
+    Codebook construction: sample candidate blocks, then one Lloyd
+    refinement pass (enough for the address-level study; Beers et al.
+    use a full tree-structured VQ for quality).
+    """
+    if image.width < VQ_BLOCK or image.height < VQ_BLOCK:
+        raise ValueError("image smaller than the VQ block")
+    blocks = _blocks_of(image.texels).astype(np.float64)
+    flat = blocks.reshape(len(blocks), -1)
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(len(flat), size=min(CODEBOOK_SIZE, len(flat)),
+                       replace=False)
+    codebook = flat[picks]
+    if len(codebook) < CODEBOOK_SIZE:
+        codebook = np.tile(codebook, (-(-CODEBOOK_SIZE // len(codebook)), 1))
+        codebook = codebook[:CODEBOOK_SIZE]
+
+    for _ in range(2):  # assignment + one Lloyd refinement
+        assignment = _nearest(flat, codebook)
+        for entry in range(CODEBOOK_SIZE):
+            members = flat[assignment == entry]
+            if len(members):
+                codebook[entry] = members.mean(axis=0)
+    assignment = _nearest(flat, codebook)
+
+    index_h = image.height // VQ_BLOCK
+    index_w = image.width // VQ_BLOCK
+    return VQTexture(
+        indices=assignment.reshape(index_h, index_w).astype(np.uint8),
+        codebook=np.clip(codebook, 0, 255).astype(np.uint8).reshape(
+            CODEBOOK_SIZE, VQ_BLOCK, VQ_BLOCK, 4),
+        width=image.width,
+        height=image.height,
+    )
+
+
+def _nearest(flat: np.ndarray, codebook: np.ndarray) -> np.ndarray:
+    """Nearest codebook entry per block (chunked to bound memory)."""
+    assignment = np.empty(len(flat), dtype=np.int64)
+    for start in range(0, len(flat), 4096):
+        chunk = flat[start:start + 4096]
+        distances = ((chunk[:, None, :] - codebook[None, :, :]) ** 2).sum(axis=2)
+        assignment[start:start + 4096] = distances.argmin(axis=1)
+    return assignment
+
+
+def decompress(vq: VQTexture) -> TextureImage:
+    """Reconstruct the (lossy) image from indices + codebook."""
+    index_h, index_w = vq.indices.shape
+    blocks = vq.codebook[vq.indices.ravel()]
+    blocked = blocks.reshape(index_h, index_w, VQ_BLOCK, VQ_BLOCK, 4)
+    texels = blocked.transpose(0, 2, 1, 3, 4).reshape(vq.height, vq.width, 4)
+    return TextureImage(np.ascontiguousarray(texels), name="vq")
+
+
+def mean_squared_error(a: TextureImage, b: TextureImage) -> float:
+    """Reconstruction error between two images (RGB, per component)."""
+    da = a.texels[..., :3].astype(np.float64)
+    db = b.texels[..., :3].astype(np.float64)
+    return float(((da - db) ** 2).mean())

@@ -1,0 +1,288 @@
+"""Texture filtering: trilinear / bilinear sample generation.
+
+The paper's fragment generator performs OpenGL-style filtering
+(Section 2): given per-fragment texture coordinates ``(u, v)`` and a
+screen-pixel-to-texel ratio ``d`` (here expressed as ``lod = log2(d)``),
+
+* ``lod > 0`` -- *trilinear* interpolation: the weighted average of the
+  eight texels closest to ``(u, v, d)``, four from each of the two mip
+  levels bracketing ``d``;
+* ``lod <= 0`` (magnification) -- *bilinear* interpolation: four texels
+  from level 0.
+
+:func:`generate_accesses` produces the exact texel access stream
+(the cache-simulator input); :func:`filter_colors` performs the actual
+color arithmetic for image output.  Access order within a fragment is
+the paper's: the four lower-level (more detailed) texels first, then
+the four upper-level texels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Access-kind codes recorded per texel fetch, used by the Section 3.1.2
+#: locality metrics (accesses per texel for lower / upper / bilinear).
+KIND_BILINEAR = 0
+KIND_LOWER = 1
+KIND_UPPER = 2
+
+KIND_NAMES = {KIND_BILINEAR: "bilinear", KIND_LOWER: "lower", KIND_UPPER: "upper"}
+
+
+@dataclass
+class TexelAccesses:
+    """A flat, ordered stream of texel fetches for one batch of
+    fragments.  All arrays share length ``n_accesses``.
+
+    ``tu``/``tv`` are wrapped into the level's range (GL_REPEAT);
+    ``tu_raw``/``tv_raw`` are pre-wrap coordinates, kept so the texture
+    repetition factor (Section 3.1.2) can be measured.
+    """
+
+    level: np.ndarray
+    tu: np.ndarray
+    tv: np.ndarray
+    tu_raw: np.ndarray
+    tv_raw: np.ndarray
+    kind: np.ndarray
+    fragment_index: np.ndarray
+
+    @property
+    def n_accesses(self) -> int:
+        return len(self.level)
+
+
+def _level_dims(width0: int, height0: int, levels: np.ndarray) -> tuple:
+    """Per-fragment level dimensions, clamped at 1."""
+    widths = np.maximum(width0 >> levels, 1)
+    heights = np.maximum(height0 >> levels, 1)
+    return widths, heights
+
+
+def _corner_coords(u, v, widths, heights):
+    """The 2x2 bilinear footprint at per-fragment level dims.
+
+    Returns raw (unwrapped) integer coordinate arrays of shape
+    ``(n, 4)`` ordered (i0,j0), (i1,j0), (i0,j1), (i1,j1).
+    """
+    x = u * widths - 0.5
+    y = v * heights - 0.5
+    i0 = np.floor(x).astype(np.int64)
+    j0 = np.floor(y).astype(np.int64)
+    tu_raw = np.stack([i0, i0 + 1, i0, i0 + 1], axis=1)
+    tv_raw = np.stack([j0, j0, j0 + 1, j0 + 1], axis=1)
+    return tu_raw, tv_raw
+
+
+def _wrap(raw, dims):
+    """GL_REPEAT wrap: power-of-two dims allow a mask."""
+    return raw & (dims - 1)
+
+
+def generate_accesses(
+    u: np.ndarray,
+    v: np.ndarray,
+    lod: np.ndarray,
+    n_levels: int,
+    width0: int,
+    height0: int,
+) -> TexelAccesses:
+    """Generate the texel fetch stream for fragments in order.
+
+    Parameters
+    ----------
+    u, v:
+        Normalized texture coordinates (may exceed [0, 1): GL_REPEAT).
+    lod:
+        Per-fragment level of detail, ``log2`` of the screen-pixel to
+        texel ratio.
+    n_levels, width0, height0:
+        Pyramid geometry of the texture being sampled.
+
+    Returns
+    -------
+    TexelAccesses
+        Eight accesses per trilinear fragment (lower level first), four
+        per magnified (bilinear) fragment, concatenated in fragment
+        order.
+    """
+    u = np.asarray(u, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    lod = np.asarray(lod, dtype=np.float64)
+    n = len(u)
+    max_level = n_levels - 1
+
+    trilinear = lod > 0.0
+    lower = np.clip(np.floor(lod), 0, max_level).astype(np.int64)
+    lower = np.where(trilinear, lower, 0)
+    upper = np.minimum(lower + 1, max_level)
+
+    lo_w, lo_h = _level_dims(width0, height0, lower)
+    hi_w, hi_h = _level_dims(width0, height0, upper)
+
+    lo_tu_raw, lo_tv_raw = _corner_coords(u, v, lo_w, lo_h)
+    hi_tu_raw, hi_tv_raw = _corner_coords(u, v, hi_w, hi_h)
+
+    # Assemble an (n, 8) table: lower-level quad then upper-level quad.
+    tu_raw = np.concatenate([lo_tu_raw, hi_tu_raw], axis=1)
+    tv_raw = np.concatenate([lo_tv_raw, hi_tv_raw], axis=1)
+    level8 = np.concatenate(
+        [np.repeat(lower[:, None], 4, axis=1), np.repeat(upper[:, None], 4, axis=1)],
+        axis=1,
+    )
+    widths8 = np.concatenate(
+        [np.repeat(lo_w[:, None], 4, axis=1), np.repeat(hi_w[:, None], 4, axis=1)], axis=1
+    )
+    heights8 = np.concatenate(
+        [np.repeat(lo_h[:, None], 4, axis=1), np.repeat(hi_h[:, None], 4, axis=1)], axis=1
+    )
+    kind8 = np.where(
+        trilinear[:, None],
+        np.concatenate(
+            [np.full((n, 4), KIND_LOWER, np.uint8), np.full((n, 4), KIND_UPPER, np.uint8)],
+            axis=1,
+        ),
+        np.full((n, 8), KIND_BILINEAR, np.uint8),
+    )
+    fragment8 = np.repeat(np.arange(n, dtype=np.int64)[:, None], 8, axis=1)
+
+    # Magnified fragments emit only the level-0 quad (first 4 columns).
+    emit = np.ones((n, 8), dtype=bool)
+    emit[~trilinear, 4:] = False
+    flat = emit.ravel()
+
+    tu_wrapped = _wrap(tu_raw, widths8)
+    tv_wrapped = _wrap(tv_raw, heights8)
+
+    return TexelAccesses(
+        level=level8.ravel()[flat].astype(np.int16),
+        tu=tu_wrapped.ravel()[flat].astype(np.int32),
+        tv=tv_wrapped.ravel()[flat].astype(np.int32),
+        tu_raw=tu_raw.ravel()[flat].astype(np.int32),
+        tv_raw=tv_raw.ravel()[flat].astype(np.int32),
+        kind=kind8.ravel()[flat],
+        fragment_index=fragment8.ravel()[flat].astype(np.int64),
+    )
+
+
+def generate_accesses_aniso(
+    u: np.ndarray,
+    v: np.ndarray,
+    dudx: np.ndarray,
+    dvdx: np.ndarray,
+    dudy: np.ndarray,
+    dvdy: np.ndarray,
+    n_levels: int,
+    width0: int,
+    height0: int,
+    max_aniso: int = 4,
+) -> TexelAccesses:
+    """Anisotropic filtering access generation (GPU-style extension).
+
+    The paper's trilinear filter assumes a roughly square pixel
+    footprint in texture space; at grazing angles (the Flight terrain)
+    the footprint is a long ellipse and trilinear either blurs (lod
+    from the major axis) or aliases.  Anisotropic filtering takes up to
+    ``max_aniso`` trilinear probes spaced along the major axis, each at
+    the *minor*-axis level of detail -- multiplying texture traffic by
+    the probe count, which is exactly the cache-pressure question this
+    library exists to answer.
+
+    Derivatives are in texel units (as produced by the rasterizer).
+    Returns the concatenated probe accesses in fragment order;
+    ``fragment_index`` maps each access back to its source fragment.
+    """
+    u = np.asarray(u, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    rho_x = np.hypot(np.asarray(dudx, float), np.asarray(dvdx, float))
+    rho_y = np.hypot(np.asarray(dudy, float), np.asarray(dvdy, float))
+    rho_max = np.maximum(np.maximum(rho_x, rho_y), 1e-12)
+    rho_min = np.maximum(np.minimum(rho_x, rho_y), 1e-12)
+    probes = np.clip(np.ceil(rho_max / rho_min), 1, max_aniso).astype(np.int64)
+    lod = np.log2(np.maximum(rho_max / probes, 1e-12))
+
+    # Major-axis step vector in normalized uv units.
+    x_major = rho_x >= rho_y
+    step_u = np.where(x_major, np.asarray(dudx, float), np.asarray(dudy, float)) / width0
+    step_v = np.where(x_major, np.asarray(dvdx, float), np.asarray(dvdy, float)) / height0
+
+    pieces = []
+    for count in np.unique(probes):
+        mask = probes == count
+        offsets = (np.arange(count) + 0.5) / count - 0.5
+        for offset in offsets:
+            accesses = generate_accesses(
+                u[mask] + offset * step_u[mask],
+                v[mask] + offset * step_v[mask],
+                lod[mask], n_levels, width0, height0,
+            )
+            owners = np.nonzero(mask)[0]
+            pieces.append((owners[accesses.fragment_index], accesses))
+
+    if not pieces:
+        return generate_accesses(u, v, lod, n_levels, width0, height0)
+
+    # Stitch the probe pieces back into fragment order.
+    owner = np.concatenate([owners for owners, _ in pieces])
+    order = np.argsort(owner, kind="stable")
+    def gather(field):
+        return np.concatenate([getattr(acc, field) for _, acc in pieces])[order]
+    return TexelAccesses(
+        level=gather("level"),
+        tu=gather("tu"),
+        tv=gather("tv"),
+        tu_raw=gather("tu_raw"),
+        tv_raw=gather("tv_raw"),
+        kind=gather("kind"),
+        fragment_index=owner[order],
+    )
+
+
+def _bilinear_colors(mipmap, levels, u, v):
+    """Per-fragment bilinear color at per-fragment ``levels``."""
+    n = len(u)
+    colors = np.zeros((n, 4), dtype=np.float64)
+    widths, heights = _level_dims(mipmap.level_shape(0)[0], mipmap.level_shape(0)[1], levels)
+    x = u * widths - 0.5
+    y = v * heights - 0.5
+    i0 = np.floor(x).astype(np.int64)
+    j0 = np.floor(y).astype(np.int64)
+    fx = x - i0
+    fy = y - j0
+    weights = [
+        (1 - fx) * (1 - fy),
+        fx * (1 - fy),
+        (1 - fx) * fy,
+        fx * fy,
+    ]
+    corners = [(i0, j0), (i0 + 1, j0), (i0, j0 + 1), (i0 + 1, j0 + 1)]
+    for level in np.unique(levels):
+        mask = levels == level
+        for (ci, cj), weight in zip(corners, weights):
+            tu = _wrap(ci[mask], widths[mask])
+            tv = _wrap(cj[mask], heights[mask])
+            colors[mask] += weight[mask, None] * mipmap.sample(int(level), tu, tv)
+    return colors
+
+
+def filter_colors(mipmap, u, v, lod) -> np.ndarray:
+    """Trilinear/bilinear filtered RGBA colors, shape ``(n, 4)`` float
+    in [0, 255].  Matches the access pattern of
+    :func:`generate_accesses`."""
+    u = np.asarray(u, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    lod = np.asarray(lod, dtype=np.float64)
+    max_level = mipmap.max_level
+
+    trilinear = lod > 0.0
+    lower = np.clip(np.floor(lod), 0, max_level).astype(np.int64)
+    lower = np.where(trilinear, lower, 0)
+    upper = np.minimum(lower + 1, max_level)
+    frac = np.where(trilinear, np.clip(lod - lower, 0.0, 1.0), 0.0)
+
+    lower_color = _bilinear_colors(mipmap, lower, u, v)
+    upper_color = _bilinear_colors(mipmap, upper, u, v)
+    return lower_color * (1 - frac[:, None]) + upper_color * frac[:, None]

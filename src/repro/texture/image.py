@@ -1,0 +1,122 @@
+"""Texture images.
+
+A :class:`TextureImage` is a two-dimensional RGBA image with
+power-of-two dimensions, the in-memory unit the paper's pipeline
+texture-maps from.  The paper allocates 32 bits per texel (Section 4.1);
+we store texels as ``uint8`` RGBA quadruples, i.e. 4 bytes per texel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Bytes occupied by one texel (RGBA, 8 bits per component) -- Section 4.1.
+TEXEL_NBYTES = 4
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Return log2 of a positive power of two, raising on other input."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value!r} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+@dataclass
+class TextureImage:
+    """An RGBA texture image with power-of-two dimensions.
+
+    Parameters
+    ----------
+    texels:
+        ``(height, width, 4)`` uint8 array.  Indexed ``texels[tv, tu]``.
+    name:
+        Human-readable identifier used in scene statistics.
+    """
+
+    texels: np.ndarray
+    name: str = "texture"
+
+    def __post_init__(self) -> None:
+        texels = np.asarray(self.texels)
+        if texels.ndim != 3 or texels.shape[2] != 4:
+            raise ValueError(
+                f"texels must have shape (height, width, 4), got {texels.shape}"
+            )
+        if texels.dtype != np.uint8:
+            raise ValueError(f"texels must be uint8, got {texels.dtype}")
+        height, width = texels.shape[:2]
+        if not (is_power_of_two(width) and is_power_of_two(height)):
+            raise ValueError(
+                f"texture dimensions must be powers of two, got {width}x{height}"
+            )
+        self.texels = texels
+
+    @property
+    def width(self) -> int:
+        """Width in texels."""
+        return self.texels.shape[1]
+
+    @property
+    def height(self) -> int:
+        """Height in texels."""
+        return self.texels.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        """Storage for this single image (no mip levels), in bytes."""
+        return self.width * self.height * TEXEL_NBYTES
+
+    @classmethod
+    def from_rgb(cls, rgb: np.ndarray, name: str = "texture") -> "TextureImage":
+        """Build a texture from an ``(h, w, 3)`` RGB array, alpha = 255."""
+        rgb = np.asarray(rgb, dtype=np.uint8)
+        if rgb.ndim != 3 or rgb.shape[2] != 3:
+            raise ValueError(f"rgb must have shape (h, w, 3), got {rgb.shape}")
+        alpha = np.full(rgb.shape[:2] + (1,), 255, dtype=np.uint8)
+        return cls(np.concatenate([rgb, alpha], axis=2), name=name)
+
+    @classmethod
+    def solid(
+        cls, width: int, height: int, rgba=(128, 128, 128, 255), name: str = "solid"
+    ) -> "TextureImage":
+        """Build a constant-color texture (useful in tests)."""
+        texels = np.empty((height, width, 4), dtype=np.uint8)
+        texels[:, :] = np.asarray(rgba, dtype=np.uint8)
+        return cls(texels, name=name)
+
+
+@dataclass
+class TextureSet:
+    """An ordered collection of textures referenced by integer id.
+
+    Triangle records in a :class:`repro.geometry.mesh.Mesh` carry texture
+    ids that index into the scene's texture set.
+    """
+
+    textures: list = field(default_factory=list)
+
+    def add(self, image: TextureImage) -> int:
+        """Add ``image`` and return its texture id."""
+        self.textures.append(image)
+        return len(self.textures) - 1
+
+    def __getitem__(self, texture_id: int) -> TextureImage:
+        return self.textures[texture_id]
+
+    def __len__(self) -> int:
+        return len(self.textures)
+
+    def __iter__(self):
+        return iter(self.textures)
+
+    @property
+    def total_nbytes(self) -> int:
+        """Total level-0 storage across all textures, in bytes."""
+        return sum(t.nbytes for t in self.textures)

@@ -1,0 +1,377 @@
+"""Texture memory representations (paper Sections 5.1-5.3, 6.2).
+
+A *layout* maps a texel coordinate ``(level, tu, tv)`` within one
+texture to a byte offset inside that texture's allocation.  The paper
+studies five representations:
+
+* :class:`WilliamsLayout` -- Williams' original scheme (Section 5.1):
+  color components stored separately at power-of-two offsets inside a
+  single 2W x 2H canvas holding the whole pyramid.  Reading one texel
+  takes three separate accesses.
+* :class:`NonblockedLayout` -- the paper's base representation
+  (Section 5.2): RGBA packed per texel, each mip level its own
+  row-major 2D array.
+* :class:`BlockedLayout` -- the tiled 4D representation (Section 5.3):
+  square bw x bh texel blocks stored consecutively.
+* :class:`PaddedBlockedLayout` -- blocked plus pad blocks appended to
+  each row of blocks so vertically-adjacent blocks cannot conflict
+  (Section 6.2, Figure 6.3a).
+* :class:`Blocked6DLayout` -- two-level blocking: square superblocks of
+  blocks, superblock size matched to the cache size
+  (Section 6.2, Figure 6.3b).
+
+All address math follows the paper's shift/mask formulas, vectorized
+over numpy arrays of texel coordinates.  Offsets are texel-indexed then
+scaled by ``TEXEL_NBYTES`` (the paper's 32-bit texels).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .image import TEXEL_NBYTES, is_power_of_two, log2_int
+
+
+@dataclass(frozen=True)
+class AddressingCost:
+    """Per-texel addressing hardware cost (Table 2.1's 'texel address
+    calculation' row, resolved per representation).
+
+    ``shifts`` counts variable-amount shifts; ``const_shifts`` counts
+    shifts whose amount is fixed by the (constant) block dimensions and
+    are therefore free in hardware wiring terms; ``masks`` counts
+    bitwise-AND extractions (also wiring).  ``accesses_per_texel`` is 3
+    for Williams' separated components, 1 otherwise.
+    """
+
+    adds: int
+    shifts: int
+    const_shifts: int = 0
+    masks: int = 0
+    accesses_per_texel: int = 1
+
+
+@dataclass
+class PlacedLevel:
+    """One mip level's placement inside a texture allocation.
+
+    ``base`` is a byte offset relative to the texture's base address.
+    ``meta`` carries layout-specific parameters (strides, block counts).
+    """
+
+    base: int
+    width: int
+    height: int
+    meta: dict = field(default_factory=dict)
+
+
+@dataclass
+class TexturePlan:
+    """A full texture placement: total allocation size plus one
+    :class:`PlacedLevel` per mip level (level 0 first)."""
+
+    total_nbytes: int
+    levels: list
+
+
+def _check_pow2_shape(width: int, height: int) -> None:
+    if not (is_power_of_two(width) and is_power_of_two(height)):
+        raise ValueError(f"level dimensions must be powers of two, got {width}x{height}")
+
+
+class TextureLayout(ABC):
+    """Maps texel coordinates to byte offsets within a texture."""
+
+    name: str = "layout"
+    accesses_per_texel: int = 1
+
+    @abstractmethod
+    def place_texture(self, level_shapes) -> TexturePlan:
+        """Plan the allocation for a pyramid with ``level_shapes`` --
+        a list of ``(width, height)`` pairs, level 0 first."""
+
+    @abstractmethod
+    def addresses(self, level: PlacedLevel, tu: np.ndarray, tv: np.ndarray) -> np.ndarray:
+        """Byte offsets (relative to the texture base) for texel
+        coordinates ``tu``, ``tv`` (already wrapped into the level's
+        range).  Shape ``(n,)``, or ``(n, k)`` when the layout needs
+        ``k > 1`` accesses per texel (Williams)."""
+
+    @abstractmethod
+    def addressing_cost(self) -> AddressingCost:
+        """Hardware cost of one texel address calculation."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class NonblockedLayout(TextureLayout):
+    """Base representation (Section 5.2): each level is a row-major 2D
+    array of packed RGBA texels.
+
+    ``Texel address = base + ((tv << lw) + tu) * 4`` where
+    ``lw = log2(width)``.
+    """
+
+    name = "nonblocked"
+
+    def place_texture(self, level_shapes) -> TexturePlan:
+        levels = []
+        offset = 0
+        for width, height in level_shapes:
+            _check_pow2_shape(width, height)
+            levels.append(PlacedLevel(base=offset, width=width, height=height,
+                                      meta={"lw": log2_int(width)}))
+            offset += width * height * TEXEL_NBYTES
+        return TexturePlan(total_nbytes=offset, levels=levels)
+
+    def addresses(self, level: PlacedLevel, tu, tv):
+        tu = np.asarray(tu, dtype=np.int64)
+        tv = np.asarray(tv, dtype=np.int64)
+        return level.base + ((tv << level.meta["lw"]) + tu) * TEXEL_NBYTES
+
+    def addressing_cost(self) -> AddressingCost:
+        return AddressingCost(adds=2, shifts=1)
+
+
+class BlockedLayout(TextureLayout):
+    """Tiled 4D representation (Section 5.3).
+
+    Texels inside a ``block_w x block_h`` square are consecutive in
+    memory; blocks are laid out row-major.  Levels smaller than one
+    block are padded up to a full block (the paper keeps block
+    dimensions fixed across all Mip Map levels).
+
+    Paper formulas (Section 5.3.1)::
+
+        bx = tu >> lbw;  by = tv >> lbh
+        block address = base + (by << rs) + (bx << bs)
+        sx = tu & (bw - 1);  sy = tv & (bh - 1)
+        texel address = block address + (sy << lbw) + sx
+    """
+
+    name = "blocked"
+
+    def __init__(self, block_w: int = 8, block_h: int = None):
+        if block_h is None:
+            block_h = block_w
+        if not (is_power_of_two(block_w) and is_power_of_two(block_h)):
+            raise ValueError("block dimensions must be powers of two")
+        self.block_w = block_w
+        self.block_h = block_h
+        self.lbw = log2_int(block_w)
+        self.lbh = log2_int(block_h)
+        self.block_texels = block_w * block_h
+        self.name = f"blocked{block_w}x{block_h}"
+
+    @property
+    def block_nbytes(self) -> int:
+        """Memory occupied by one block of texels."""
+        return self.block_texels * TEXEL_NBYTES
+
+    def _blocks_across(self, width: int, height: int) -> tuple:
+        blocks_per_row = max(width >> self.lbw, 1)
+        block_rows = max(height >> self.lbh, 1)
+        return blocks_per_row, block_rows
+
+    def _row_pad_blocks(self, blocks_per_row: int) -> int:
+        """Unused blocks appended to each block row (none here;
+        overridden by :class:`PaddedBlockedLayout`)."""
+        return 0
+
+    def place_texture(self, level_shapes) -> TexturePlan:
+        levels = []
+        offset = 0
+        for width, height in level_shapes:
+            _check_pow2_shape(width, height)
+            blocks_per_row, block_rows = self._blocks_across(width, height)
+            row_stride_blocks = blocks_per_row + self._row_pad_blocks(blocks_per_row)
+            levels.append(PlacedLevel(
+                base=offset, width=width, height=height,
+                meta={"blocks_per_row": blocks_per_row,
+                      "row_stride_blocks": row_stride_blocks},
+            ))
+            offset += row_stride_blocks * block_rows * self.block_nbytes
+        return TexturePlan(total_nbytes=offset, levels=levels)
+
+    def addresses(self, level: PlacedLevel, tu, tv):
+        tu = np.asarray(tu, dtype=np.int64)
+        tv = np.asarray(tv, dtype=np.int64)
+        bx = tu >> self.lbw
+        by = tv >> self.lbh
+        sx = tu & (self.block_w - 1)
+        sy = tv & (self.block_h - 1)
+        block_index = by * level.meta["row_stride_blocks"] + bx
+        texel_index = block_index * self.block_texels + (sy << self.lbw) + sx
+        return level.base + texel_index * TEXEL_NBYTES
+
+    def addressing_cost(self) -> AddressingCost:
+        # Two additions over the base representation (Section 5.3.1):
+        # the block-address sum gains one add and the sub-block offset
+        # another.  bs/lbw shifts are constant-amount; tu>>lbw and
+        # tv>>lbh are likewise constant because block dims are fixed.
+        return AddressingCost(adds=4, shifts=1, const_shifts=4, masks=2)
+
+
+class PaddedBlockedLayout(BlockedLayout):
+    """Blocked representation with pad blocks at the end of each block
+    row (Section 6.2, Figure 6.3a) so that vertically-neighboring
+    blocks never map to the same cache line.
+
+    ``Texel address = blocked address + (by << ps)`` with
+    ``ps = log2(bw * bh * pad_blocks)``; one extra addition per texel.
+    """
+
+    def __init__(self, block_w: int = 8, block_h: int = None, pad_blocks: int = 4):
+        super().__init__(block_w, block_h)
+        if not is_power_of_two(pad_blocks):
+            raise ValueError("pad_blocks must be a power of two")
+        self.pad_blocks = pad_blocks
+        self.name = f"padded{self.block_w}x{self.block_h}+{pad_blocks}"
+
+    def _row_pad_blocks(self, blocks_per_row: int) -> int:
+        return self.pad_blocks
+
+    def addressing_cost(self) -> AddressingCost:
+        base = super().addressing_cost()
+        return AddressingCost(adds=base.adds + 1, shifts=base.shifts,
+                              const_shifts=base.const_shifts + 1, masks=base.masks)
+
+
+class Blocked6DLayout(BlockedLayout):
+    """Two-level ("6D") blocking (Section 6.2, Figure 6.3b).
+
+    Square superblocks of ``S x S`` blocks are stored consecutively;
+    ``S`` is chosen as the largest power of two such that a superblock
+    occupies at most ``superblock_nbytes`` (the cache size), ensuring a
+    square region of blocks maps into the cache without conflicts.
+    """
+
+    def __init__(self, block_w: int = 8, block_h: int = None,
+                 superblock_nbytes: int = 32 * 1024):
+        super().__init__(block_w, block_h)
+        max_blocks = superblock_nbytes // self.block_nbytes
+        if max_blocks < 1:
+            raise ValueError("superblock smaller than one block")
+        side = 1
+        while (side * 2) * (side * 2) <= max_blocks:
+            side *= 2
+        self.super_side = side
+        self.ls = log2_int(side)
+        self.superblock_nbytes = superblock_nbytes
+        self.name = f"blocked6d{self.block_w}x{self.block_h}/{side}"
+
+    def place_texture(self, level_shapes) -> TexturePlan:
+        levels = []
+        offset = 0
+        side = self.super_side
+        for width, height in level_shapes:
+            _check_pow2_shape(width, height)
+            blocks_per_row, block_rows = self._blocks_across(width, height)
+            supers_per_row = max((blocks_per_row + side - 1) // side, 1)
+            super_rows = max((block_rows + side - 1) // side, 1)
+            levels.append(PlacedLevel(
+                base=offset, width=width, height=height,
+                meta={"blocks_per_row": blocks_per_row,
+                      "supers_per_row": supers_per_row},
+            ))
+            offset += supers_per_row * super_rows * side * side * self.block_nbytes
+        return TexturePlan(total_nbytes=offset, levels=levels)
+
+    def addresses(self, level: PlacedLevel, tu, tv):
+        tu = np.asarray(tu, dtype=np.int64)
+        tv = np.asarray(tv, dtype=np.int64)
+        bx = tu >> self.lbw
+        by = tv >> self.lbh
+        sx = tu & (self.block_w - 1)
+        sy = tv & (self.block_h - 1)
+        super_x = bx >> self.ls
+        super_y = by >> self.ls
+        sub_bx = bx & (self.super_side - 1)
+        sub_by = by & (self.super_side - 1)
+        super_index = super_y * level.meta["supers_per_row"] + super_x
+        block_index = (super_index << (2 * self.ls)) + (sub_by << self.ls) + sub_bx
+        texel_index = block_index * self.block_texels + (sy << self.lbw) + sx
+        return level.base + texel_index * TEXEL_NBYTES
+
+    def addressing_cost(self) -> AddressingCost:
+        base = BlockedLayout.addressing_cost(self)
+        # Two extra additions over plain blocking (Section 6.2).
+        return AddressingCost(adds=base.adds + 2, shifts=base.shifts,
+                              const_shifts=base.const_shifts + 3, masks=base.masks + 2)
+
+
+class WilliamsLayout(TextureLayout):
+    """Williams' Mip Map arrangement (Section 5.1, Figure 5.1a).
+
+    The whole pyramid lives in one ``2W x 2H`` canvas of 1-byte color
+    components.  Level ``L`` occupies a square of side ``2 * W_L`` whose
+    origin advances along the diagonal; within it the R, G, B component
+    planes (each ``W_L x H_L``) sit in three quadrants and the next
+    level nests in the fourth.  Component planes of one texel are
+    separated by power-of-two strides -- the property the paper blames
+    for cache conflicts -- and each texel read costs three accesses.
+    """
+
+    name = "williams"
+    accesses_per_texel = 3
+
+    def place_texture(self, level_shapes) -> TexturePlan:
+        width0, height0 = level_shapes[0]
+        _check_pow2_shape(width0, height0)
+        canvas_w = 2 * width0
+        canvas_h = 2 * height0
+        levels = []
+        origin_x = 0
+        origin_y = 0
+        for level_index, (width, height) in enumerate(level_shapes):
+            _check_pow2_shape(width, height)
+            levels.append(PlacedLevel(
+                base=origin_y * canvas_w + origin_x,
+                width=width, height=height,
+                meta={"stride": canvas_w, "dx": width, "dy": height},
+            ))
+            origin_x += width
+            origin_y += height
+        return TexturePlan(total_nbytes=canvas_w * canvas_h, levels=levels)
+
+    def addresses(self, level: PlacedLevel, tu, tv):
+        tu = np.asarray(tu, dtype=np.int64)
+        tv = np.asarray(tv, dtype=np.int64)
+        stride = level.meta["stride"]
+        red = level.base + tv * stride + tu
+        green = red + level.meta["dx"]
+        blue = red + level.meta["dy"] * stride
+        return np.stack([red, green, blue], axis=-1)
+
+    def addressing_cost(self) -> AddressingCost:
+        # Three component addresses, each base + (tv << lw') + tu plus
+        # the constant quadrant offset.
+        return AddressingCost(adds=6, shifts=3, accesses_per_texel=3)
+
+
+#: Layout registry keyed by a short construction spec, used by example
+#: scripts and benchmark harnesses.
+def make_layout(spec: str, **kwargs) -> TextureLayout:
+    """Construct a layout from a short name.
+
+    ``spec`` is one of ``nonblocked``, ``blocked``, ``padded``,
+    ``blocked6d``, ``williams``; keyword arguments are forwarded to the
+    layout constructor (``block_w``, ``pad_blocks``,
+    ``superblock_nbytes``).
+    """
+    registry = {
+        "nonblocked": NonblockedLayout,
+        "blocked": BlockedLayout,
+        "padded": PaddedBlockedLayout,
+        "blocked6d": Blocked6DLayout,
+        "williams": WilliamsLayout,
+    }
+    try:
+        cls = registry[spec]
+    except KeyError:
+        raise ValueError(f"unknown layout {spec!r}; expected one of {sorted(registry)}") from None
+    return cls(**kwargs)

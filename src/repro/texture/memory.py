@@ -1,0 +1,99 @@
+"""Texture memory allocation.
+
+The paper assigns textures memory "using the malloc() system call"
+(Section 4.1) and allocates 32 bits per texel.  :class:`TextureMemory`
+is the equivalent substrate: a flat byte address space with a bump
+allocator.  Because texture array dimensions are powers of two, the
+resulting placements reproduce the power-of-two address relationships
+responsible for the paper's conflict-miss behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .layout import TextureLayout, TexturePlan
+from .mipmap import MipMap
+
+
+@dataclass
+class PlacedTexture:
+    """One texture pyramid placed in memory under a given layout."""
+
+    texture_id: int
+    base: int
+    plan: TexturePlan
+    layout: TextureLayout
+
+    @property
+    def total_nbytes(self) -> int:
+        """Bytes occupied by this texture's allocation."""
+        return self.plan.total_nbytes
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.plan.levels)
+
+    def addresses(self, level: int, tu: np.ndarray, tv: np.ndarray) -> np.ndarray:
+        """Absolute byte addresses for texels of mip ``level``.
+
+        Returns shape ``(n,)`` or ``(n, k)`` for multi-access layouts.
+        """
+        placed_level = self.plan.levels[level]
+        return self.base + self.layout.addresses(placed_level, tu, tv)
+
+
+class TextureMemory:
+    """A flat texture address space with a bump allocator.
+
+    Parameters
+    ----------
+    alignment:
+        Allocation alignment in bytes.  The default, 16, mimics a
+        typical ``malloc``; conflict behaviour is dominated by the
+        power-of-two array dimensions, not the base alignment.
+    """
+
+    def __init__(self, alignment: int = 16):
+        if alignment < 1:
+            raise ValueError("alignment must be >= 1")
+        self.alignment = alignment
+        self._next_free = 0
+        self.placements = []
+
+    def alloc(self, nbytes: int) -> int:
+        """Reserve ``nbytes`` and return the base address."""
+        if nbytes < 0:
+            raise ValueError("cannot allocate a negative size")
+        base = -(-self._next_free // self.alignment) * self.alignment
+        self._next_free = base + nbytes
+        return base
+
+    @property
+    def used_nbytes(self) -> int:
+        """High-water mark of the address space."""
+        return self._next_free
+
+    def place(self, mipmap: MipMap, layout: TextureLayout, texture_id: int = None) -> PlacedTexture:
+        """Allocate and place a mip pyramid under ``layout``."""
+        shapes = [mipmap.level_shape(level) for level in range(mipmap.n_levels)]
+        plan = layout.place_texture(shapes)
+        base = self.alloc(plan.total_nbytes)
+        if texture_id is None:
+            texture_id = len(self.placements)
+        placed = PlacedTexture(texture_id=texture_id, base=base, plan=plan, layout=layout)
+        self.placements.append(placed)
+        return placed
+
+
+def place_textures(mipmaps, layout: TextureLayout, alignment: int = 16) -> list:
+    """Place every pyramid in ``mipmaps`` into a fresh address space.
+
+    Returns placements in texture-id order.  This is the entry point
+    used to re-map one rendered texel trace onto different memory
+    representations without re-rendering.
+    """
+    memory = TextureMemory(alignment=alignment)
+    return [memory.place(mm, layout, texture_id=i) for i, mm in enumerate(mipmaps)]

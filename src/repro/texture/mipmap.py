@@ -1,0 +1,101 @@
+"""Mip Map pyramids (Williams, SIGGRAPH'83; paper Section 2).
+
+A Mip Map represents a texture as an image pyramid: level 0 is the
+original image and each subsequent level is a box-filtered, 2x
+down-sampled version of its predecessor, ending at a 1x1 level.
+Trilinear interpolation reads four texels from each of the two pyramid
+levels bracketing the desired level of detail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .image import TEXEL_NBYTES, TextureImage, log2_int
+
+
+def downsample(texels: np.ndarray) -> np.ndarray:
+    """Box-filter a ``(h, w, 4)`` uint8 image down by 2x per axis.
+
+    Dimensions of 1 are preserved (non-square pyramids narrow one axis
+    at a time, as in OpenGL).
+    """
+    height, width = texels.shape[:2]
+    new_h = max(height // 2, 1)
+    new_w = max(width // 2, 1)
+    wide = texels.astype(np.uint16)
+    if width > 1:
+        wide = (wide[:, 0::2] + wide[:, 1::2] + 1) // 2
+    if height > 1:
+        wide = (wide[0::2, :] + wide[1::2, :] + 1) // 2
+    result = wide.astype(np.uint8)
+    assert result.shape[:2] == (new_h, new_w)
+    return result
+
+
+@dataclass
+class MipMap:
+    """A full image pyramid for one texture.
+
+    Attributes
+    ----------
+    levels:
+        List of ``(h, w, 4)`` uint8 arrays, level 0 first (most detailed).
+    name:
+        Inherited from the source :class:`TextureImage`.
+    """
+
+    levels: list
+    name: str = "texture"
+
+    @classmethod
+    def build(cls, image: TextureImage) -> "MipMap":
+        """Construct the pyramid for ``image`` down to 1x1."""
+        levels = [image.texels]
+        current = image.texels
+        while current.shape[0] > 1 or current.shape[1] > 1:
+            current = downsample(current)
+            levels.append(current)
+        return cls(levels=levels, name=image.name)
+
+    @property
+    def n_levels(self) -> int:
+        """Number of pyramid levels, including the 1x1 top."""
+        return len(self.levels)
+
+    @property
+    def max_level(self) -> int:
+        """Index of the coarsest (1x1) level."""
+        return len(self.levels) - 1
+
+    def level_shape(self, level: int) -> tuple:
+        """``(width, height)`` of ``level`` in texels."""
+        texels = self.levels[level]
+        return texels.shape[1], texels.shape[0]
+
+    def level_log2(self, level: int) -> tuple:
+        """``(log2(width), log2(height))`` of ``level``."""
+        width, height = self.level_shape(level)
+        return log2_int(width), log2_int(height)
+
+    @property
+    def nbytes(self) -> int:
+        """Total pyramid storage in bytes (~4/3 the level-0 size)."""
+        return sum(
+            lvl.shape[0] * lvl.shape[1] * TEXEL_NBYTES for lvl in self.levels
+        )
+
+    def sample(self, level: int, tu: np.ndarray, tv: np.ndarray) -> np.ndarray:
+        """Gather texel colors ``(n, 4) float`` at integer coords.
+
+        Coordinates must already be wrapped into the level's range.
+        """
+        texels = self.levels[level]
+        return texels[tv, tu].astype(np.float64)
+
+
+def build_mipmaps(images) -> list:
+    """Build a pyramid per image, preserving texture-id order."""
+    return [MipMap.build(image) for image in images]

@@ -1,0 +1,170 @@
+"""Procedural texture synthesis.
+
+The paper's benchmark scenes use texture content we cannot redistribute
+(SGI demo-suite satellite photos, building facades, wood grain).  Cache
+behaviour depends only on *addresses*, not colors, but the renderer still
+produces real images for visual verification, so these generators create
+plausible stand-ins: value-noise "satellite terrain", brick facades, wood
+grain, marble, and checkerboards.
+
+All generators are deterministic given their ``seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .image import TextureImage, is_power_of_two
+
+
+def _lattice_noise(width: int, height: int, cell: int, rng: np.random.Generator):
+    """Bilinearly-interpolated value noise on a ``cell``-spaced lattice.
+
+    Returns a float array in [0, 1) of shape ``(height, width)``.
+    """
+    gw = max(width // cell, 1) + 1
+    gh = max(height // cell, 1) + 1
+    grid = rng.random((gh, gw))
+    ys = np.arange(height) / cell
+    xs = np.arange(width) / cell
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    fy = (ys - y0)[:, None]
+    fx = (xs - x0)[None, :]
+    y0 = np.clip(y0, 0, gh - 2)[:, None]
+    x0 = np.clip(x0, 0, gw - 2)[None, :]
+    top = grid[y0, x0] * (1 - fx) + grid[y0, x0 + 1] * fx
+    bottom = grid[y0 + 1, x0] * (1 - fx) + grid[y0 + 1, x0 + 1] * fx
+    return top * (1 - fy) + bottom * fy
+
+
+def fractal_noise(
+    width: int, height: int, octaves: int = 4, seed: int = 0
+) -> np.ndarray:
+    """Multi-octave value noise in [0, 1], shape ``(height, width)``."""
+    rng = np.random.default_rng(seed)
+    total = np.zeros((height, width))
+    amplitude = 1.0
+    norm = 0.0
+    cell = max(min(width, height) // 4, 1)
+    for _ in range(octaves):
+        total += amplitude * _lattice_noise(width, height, max(cell, 1), rng)
+        norm += amplitude
+        amplitude *= 0.5
+        cell = max(cell // 2, 1)
+    return total / norm
+
+
+def checkerboard(
+    width: int,
+    height: int,
+    squares: int = 8,
+    color_a=(220, 220, 220),
+    color_b=(40, 40, 40),
+    name: str = "checker",
+) -> TextureImage:
+    """A classic checkerboard, ``squares`` squares across each axis."""
+    ys, xs = np.mgrid[0:height, 0:width]
+    sq_w = max(width // squares, 1)
+    sq_h = max(height // squares, 1)
+    mask = ((xs // sq_w) + (ys // sq_h)) % 2 == 0
+    rgb = np.where(mask[..., None], np.uint8(color_a), np.uint8(color_b))
+    return TextureImage.from_rgb(rgb.astype(np.uint8), name=name)
+
+
+def satellite(width: int, height: int, seed: int = 0, name: str = "satellite") -> TextureImage:
+    """Terrain-photo stand-in: noise-driven green/brown/grey bands.
+
+    Used by the Flight scene in place of the paper's satellite imagery.
+    """
+    elevation = fractal_noise(width, height, octaves=5, seed=seed)
+    moisture = fractal_noise(width, height, octaves=4, seed=seed + 1)
+    rgb = np.empty((height, width, 3))
+    # Low elevation: vegetation green; mid: brown earth; high: grey rock.
+    rgb[..., 0] = 60 + 140 * elevation
+    rgb[..., 1] = 90 + 90 * moisture - 40 * elevation
+    rgb[..., 2] = 40 + 120 * np.clip(elevation - 0.6, 0, 1)
+    return TextureImage.from_rgb(np.clip(rgb, 0, 255).astype(np.uint8), name=name)
+
+
+def brick(width: int, height: int, seed: int = 0, name: str = "brick") -> TextureImage:
+    """Brick-wall facade stand-in used by the Town scene."""
+    rng = np.random.default_rng(seed)
+    brick_h = max(height // 16, 2)
+    brick_w = max(width // 8, 2)
+    ys, xs = np.mgrid[0:height, 0:width]
+    row = ys // brick_h
+    # Offset alternate courses by half a brick.
+    col = (xs + (row % 2) * (brick_w // 2)) // brick_w
+    mortar = ((ys % brick_h) < 1) | (((xs + (row % 2) * (brick_w // 2)) % brick_w) < 1)
+    base = np.array([110.0, 45.0, 32.0])
+    variation = rng.random((row.max() + 1, col.max() + 1))
+    tint = variation[row, col]
+    rgb = np.empty((height, width, 3))
+    for channel in range(3):
+        rgb[..., channel] = base[channel] + 50 * tint
+    rgb[mortar] = (190, 185, 175)
+    return TextureImage.from_rgb(np.clip(rgb, 0, 255).astype(np.uint8), name=name)
+
+
+def wood(width: int, height: int, seed: int = 0, name: str = "wood") -> TextureImage:
+    """Wood-grain stand-in used by the Guitar scene."""
+    noise = fractal_noise(width, height, octaves=4, seed=seed)
+    ys, xs = np.mgrid[0:height, 0:width]
+    rings = np.sin((xs / width * 18.0 + 4.0 * noise) * np.pi)
+    shade = 0.5 + 0.5 * rings
+    rgb = np.empty((height, width, 3))
+    rgb[..., 0] = 110 + 70 * shade
+    rgb[..., 1] = 60 + 45 * shade
+    rgb[..., 2] = 25 + 25 * shade
+    return TextureImage.from_rgb(np.clip(rgb, 0, 255).astype(np.uint8), name=name)
+
+
+def marble(width: int, height: int, seed: int = 0, name: str = "marble") -> TextureImage:
+    """Marble stand-in used by the Goblet scene."""
+    noise = fractal_noise(width, height, octaves=5, seed=seed)
+    ys, xs = np.mgrid[0:height, 0:width]
+    veins = np.abs(np.sin((ys / height * 6.0 + 5.0 * noise) * np.pi))
+    shade = 1.0 - 0.7 * veins**3
+    rgb = np.empty((height, width, 3))
+    rgb[..., 0] = 235 * shade
+    rgb[..., 1] = 230 * shade
+    rgb[..., 2] = 225 * shade
+    return TextureImage.from_rgb(np.clip(rgb, 0, 255).astype(np.uint8), name=name)
+
+
+def gradient(width: int, height: int, name: str = "gradient") -> TextureImage:
+    """A horizontal+vertical gradient; handy for debugging orientation."""
+    ys, xs = np.mgrid[0:height, 0:width]
+    rgb = np.empty((height, width, 3))
+    rgb[..., 0] = 255 * xs / max(width - 1, 1)
+    rgb[..., 1] = 255 * ys / max(height - 1, 1)
+    rgb[..., 2] = 128
+    return TextureImage.from_rgb(rgb.astype(np.uint8), name=name)
+
+
+_GENERATORS = {
+    "checker": checkerboard,
+    "satellite": satellite,
+    "brick": brick,
+    "wood": wood,
+    "marble": marble,
+}
+
+
+def make_texture(kind: str, width: int, height: int, seed: int = 0) -> TextureImage:
+    """Dispatch to a named generator; ``kind`` is one of
+
+    ``checker``, ``satellite``, ``brick``, ``wood``, ``marble``.
+    """
+    if not (is_power_of_two(width) and is_power_of_two(height)):
+        raise ValueError("texture dimensions must be powers of two")
+    try:
+        generator = _GENERATORS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown texture kind {kind!r}; expected one of {sorted(_GENERATORS)}"
+        ) from None
+    if kind == "checker":
+        return generator(width, height, name=f"{kind}-{seed}")
+    return generator(width, height, seed=seed, name=f"{kind}-{seed}")

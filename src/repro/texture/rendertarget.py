@@ -1,0 +1,64 @@
+"""Rendered images as textures (paper Section 3.2).
+
+"A recent trend in computer graphics has been the use of rendered
+images as textures [TexRAM].  As a result, it has become desirable to
+unify the framebuffer and texture memories to avoid copying data
+between the two.  A fragment generator connected to an SRAM texture
+cache does not necessarily require a dedicated texture memory...  The
+caches can be flushed if necessary when the textures change."
+
+This module closes that loop: a rendered :class:`Framebuffer` becomes a
+:class:`TextureImage` (resampled to power-of-two dimensions), ready to
+be texture-mapped by a subsequent pass -- the render-to-texture path a
+unified memory system enables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..raster.framebuffer import Framebuffer
+from .image import TextureImage, is_power_of_two
+
+
+def _pow2_at_most(value: int) -> int:
+    if value < 1:
+        raise ValueError("dimension must be positive")
+    return 1 << (value.bit_length() - 1)
+
+
+def framebuffer_to_texture(
+    framebuffer: Framebuffer, name: str = "rendered",
+    size: int = None,
+) -> TextureImage:
+    """Turn a rendered frame into a texture.
+
+    The frame is point-resampled to ``size`` (square, power of two;
+    default the largest power of two not exceeding the smaller frame
+    dimension).  Alpha is set opaque.
+    """
+    if size is None:
+        size = _pow2_at_most(min(framebuffer.width, framebuffer.height))
+    if not is_power_of_two(size):
+        raise ValueError("size must be a power of two")
+    rows = (np.arange(size) + 0.5) / size * framebuffer.height
+    cols = (np.arange(size) + 0.5) / size * framebuffer.width
+    sampled = framebuffer.pixels[rows.astype(int)[:, None],
+                                 cols.astype(int)[None, :]]
+    return TextureImage.from_rgb(sampled, name=name)
+
+
+def flush_for_texture_update(caches) -> None:
+    """Flush texture caches after their backing texture changed.
+
+    The paper's coherence story: texture data is read-only during a
+    frame, so no coherence protocol is needed -- caches are simply
+    flushed when a texture is redefined (e.g. by a render-to-texture
+    pass).  Works on any object exposing ``flush()`` or on
+    :class:`~repro.core.cache.LRUCache` instances.
+    """
+    for cache in caches:
+        if hasattr(cache, "flush"):
+            cache.flush()
+        else:
+            raise TypeError(f"{type(cache).__name__} cannot be flushed")

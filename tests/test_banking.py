@@ -1,0 +1,125 @@
+"""Unit tests for the banked-cache model (paper Section 7.1.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.banking import (
+    N_BANKS,
+    analyze_banking,
+    linear_bank,
+    morton_bank,
+    quad_is_conflict_free,
+)
+from repro.pipeline.trace import TraceBuilder
+from repro.texture.filtering import generate_accesses
+
+
+def trilinear_trace(us, vs, lods, n_levels=7, width=64, height=64):
+    builder = TraceBuilder()
+    accesses = generate_accesses(np.asarray(us, float), np.asarray(vs, float),
+                                 np.asarray(lods, float), n_levels, width, height)
+    builder.append(0, accesses, len(us))
+    return builder.build()
+
+
+class TestMortonBank:
+    def test_four_banks(self):
+        assert N_BANKS == 4
+        tu, tv = np.mgrid[0:8, 0:8]
+        banks = morton_bank(tu.ravel(), tv.ravel())
+        assert set(banks.tolist()) == {0, 1, 2, 3}
+
+    def test_any_2x2_quad_conflict_free(self):
+        # The paper's claim: EVERY axis-aligned 2x2 footprint, aligned
+        # or straddling block boundaries, touches four distinct banks.
+        for base_u in range(5):
+            for base_v in range(5):
+                tu = np.array([base_u, base_u + 1, base_u, base_u + 1])
+                tv = np.array([base_v, base_v, base_v + 1, base_v + 1])
+                assert quad_is_conflict_free(tu, tv), (base_u, base_v)
+
+    def test_same_row_pairs_conflict(self):
+        # Four texels in one row only cover two banks.
+        tu = np.array([0, 1, 2, 3])
+        tv = np.zeros(4, dtype=int)
+        assert not quad_is_conflict_free(tu, tv)
+
+
+class TestLinearBank:
+    def test_vertical_neighbors_conflict(self):
+        # Row-major interleaving with a width that is a multiple of the
+        # bank count puts vertically adjacent texels in the same bank.
+        tu = np.array([5, 5])
+        tv = np.array([3, 4])
+        banks = linear_bank(tu, tv, np.array([64, 64]))
+        assert banks[0] == banks[1]
+
+    def test_horizontal_neighbors_differ(self):
+        banks = linear_bank(np.array([4, 5]), np.array([0, 0]), np.array([64, 64]))
+        assert banks[0] != banks[1]
+
+
+class TestAnalyzeBanking:
+    def test_trilinear_quads_are_conflict_free_morton(self):
+        trace = trilinear_trace([0.3, 0.61, 0.25], [0.4, 0.37, 0.8],
+                                [1.5, 2.3, 0.7])
+        stats = analyze_banking(trace, "morton")
+        assert stats.n_quads == 6  # three fragments x two quads
+        assert stats.conflict_free_fraction == 1.0
+        assert stats.mean_cycles_per_quad == 1.0
+
+    def test_bilinear_quads_also_conflict_free(self):
+        trace = trilinear_trace([0.3, 0.6], [0.4, 0.2], [-0.5, -1.0])
+        stats = analyze_banking(trace, "morton")
+        assert stats.n_quads == 2
+        assert stats.conflict_free_fraction == 1.0
+
+    def test_linear_scheme_conflicts(self):
+        trace = trilinear_trace([0.3, 0.61, 0.25, 0.77], [0.4, 0.37, 0.8, 0.1],
+                                [1.5, 2.3, 0.7, 3.1])
+        stats = analyze_banking(trace, "linear", level0_width=64)
+        assert stats.conflict_free_fraction < 1.0
+        assert stats.mean_cycles_per_quad > 1.0
+
+    def test_linear_needs_width(self):
+        trace = trilinear_trace([0.5], [0.5], [1.0])
+        with pytest.raises(ValueError):
+            analyze_banking(trace, "linear")
+
+    def test_unknown_scheme(self):
+        trace = trilinear_trace([0.5], [0.5], [1.0])
+        with pytest.raises(ValueError):
+            analyze_banking(trace, "xor")
+
+    def test_empty_trace(self):
+        stats = analyze_banking(TraceBuilder().build(), "morton")
+        assert stats.n_quads == 0
+        assert stats.conflict_free_fraction == 1.0
+
+
+class TestBankingThroughput:
+    def test_conflict_free_reaches_machine_peak(self):
+        from repro.core.banking import BankingStats, fragments_per_second
+        from repro.core.machine import PAPER_MACHINE
+        perfect = BankingStats(n_quads=100, conflict_free_quads=100,
+                               total_extra_cycles=0)
+        assert fragments_per_second(perfect, PAPER_MACHINE) == \
+            PAPER_MACHINE.peak_fragments_per_second
+
+    def test_serialized_quads_halve_throughput(self):
+        from repro.core.banking import BankingStats, fragments_per_second
+        from repro.core.machine import PAPER_MACHINE
+        # Every quad needs two cycles (pairwise bank sharing).
+        conflicted = BankingStats(n_quads=100, conflict_free_quads=0,
+                                  total_extra_cycles=100)
+        assert fragments_per_second(conflicted, PAPER_MACHINE) == \
+            PAPER_MACHINE.peak_fragments_per_second / 2
+
+    def test_real_trace_morton_sustains_peak(self):
+        from repro.core.banking import analyze_banking, fragments_per_second
+        from repro.core.machine import PAPER_MACHINE
+        trace = trilinear_trace([0.31, 0.62, 0.13, 0.87], [0.44, 0.21, 0.7, 0.1],
+                                [1.4, 2.2, 0.8, 3.0])
+        stats = analyze_banking(trace, "morton")
+        assert fragments_per_second(stats, PAPER_MACHINE) == \
+            PAPER_MACHINE.peak_fragments_per_second

@@ -1,0 +1,71 @@
+"""Unit tests for near-plane clipping (repro.geometry.clip)."""
+
+import numpy as np
+
+from repro.geometry.clip import clip_triangles_near
+
+
+def tri(vertices, attrs=None):
+    clip = np.asarray(vertices, dtype=float).reshape(1, 3, 4)
+    if attrs is None:
+        attrs = np.zeros((1, 3, 1))
+    else:
+        attrs = np.asarray(attrs, dtype=float).reshape(1, 3, -1)
+    return clip, attrs
+
+
+class TestClipTrianglesNear:
+    def test_fully_inside_passthrough(self):
+        clip, attrs = tri([[0, 0, 0, 1], [1, 0, 0, 1], [0, 1, 0, 1]])
+        result = clip_triangles_near(clip, attrs)
+        assert result.n_triangles == 1
+        assert np.allclose(result.clip[0], clip[0])
+        assert result.triangle_index.tolist() == [0]
+
+    def test_fully_outside_dropped(self):
+        # All vertices behind the near plane: z + w < 0.
+        clip, attrs = tri([[0, 0, -2, 1], [1, 0, -3, 1], [0, 1, -2.5, 1]])
+        result = clip_triangles_near(clip, attrs)
+        assert result.n_triangles == 0
+
+    def test_one_vertex_outside_gives_two_triangles(self):
+        clip, attrs = tri([[0, 0, -2, 1], [1, 0, 1, 1], [0, 1, 1, 1]])
+        result = clip_triangles_near(clip, attrs)
+        assert result.n_triangles == 2
+
+    def test_two_vertices_outside_gives_one_triangle(self):
+        clip, attrs = tri([[0, 0, -2, 1], [1, 0, -2, 1], [0, 1, 1, 1]])
+        result = clip_triangles_near(clip, attrs)
+        assert result.n_triangles == 1
+
+    def test_intersection_on_plane(self):
+        clip, attrs = tri([[0, 0, -2, 1], [1, 0, -2, 1], [0, 1, 1, 1]])
+        result = clip_triangles_near(clip, attrs, eps=0.0)
+        # New vertices satisfy z + w ~ 0.
+        sums = result.clip[0, :, 2] + result.clip[0, :, 3]
+        assert (sums >= -1e-9).all()
+        assert np.isclose(sorted(sums)[0], 0.0, atol=1e-9)
+
+    def test_attribute_interpolation(self):
+        clip, attrs = tri(
+            [[0, 0, -3, 1], [0, 0, 1, 1], [1, 1, 1, 1]],
+            attrs=[[0.0], [1.0], [2.0]],
+        )
+        result = clip_triangles_near(clip, attrs, eps=0.0)
+        # The edge from attr 0 (z+w = -2) to attr 1 (z+w = 2) crosses at
+        # t = 0.5 -> interpolated attribute 0.5.
+        values = sorted(result.attrs.ravel().tolist())
+        assert any(np.isclose(v, 0.5, atol=1e-9) for v in values)
+
+    def test_submission_order_preserved(self):
+        inside = [[0, 0, 0, 1], [1, 0, 0, 1], [0, 1, 0, 1]]
+        crossing = [[0, 0, -2, 1], [1, 0, 1, 1], [0, 1, 1, 1]]
+        clip = np.array([crossing, inside, crossing], dtype=float)
+        attrs = np.zeros((3, 3, 1))
+        result = clip_triangles_near(clip, attrs)
+        assert result.triangle_index.tolist() == [0, 0, 1, 2, 2]
+
+    def test_empty_input(self):
+        result = clip_triangles_near(np.empty((0, 3, 4)), np.empty((0, 3, 2)))
+        assert result.n_triangles == 0
+        assert result.attrs.shape[2] == 2

@@ -1,0 +1,95 @@
+"""Tests for VQ texture compression (paper Section 8 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.texture.compression import (
+    CODEBOOK_SIZE,
+    VQCompressedLayout,
+    VQTexture,
+    compress,
+    decompress,
+    mean_squared_error,
+)
+from repro.texture.image import TextureImage
+from repro.texture.procedural import checkerboard, wood
+
+
+class TestVQCompressedLayout:
+    def test_four_texels_share_one_byte(self):
+        layout = VQCompressedLayout(index_block_w=8)
+        plan = layout.place_texture([(64, 64)])
+        tu = np.array([0, 1, 0, 1])
+        tv = np.array([0, 0, 1, 1])
+        addresses = layout.addresses(plan.levels[0], tu, tv)
+        assert len(set(addresses.tolist())) == 1
+
+    def test_adjacent_blocks_differ(self):
+        layout = VQCompressedLayout(index_block_w=8)
+        plan = layout.place_texture([(64, 64)])
+        a = layout.addresses(plan.levels[0], np.array([0]), np.array([0]))
+        b = layout.addresses(plan.levels[0], np.array([2]), np.array([0]))
+        assert a[0] != b[0]
+
+    def test_sixteen_to_one_allocation(self):
+        layout = VQCompressedLayout(index_block_w=8)
+        plan = layout.place_texture([(64, 64)])
+        assert plan.total_nbytes == 64 * 64 // 4  # 1 byte per 2x2 block
+
+    def test_bijective_over_index_plane(self):
+        layout = VQCompressedLayout(index_block_w=4)
+        plan = layout.place_texture([(32, 32)])
+        tv, tu = np.mgrid[0:32:2, 0:32:2]
+        addresses = layout.addresses(plan.levels[0], tu.ravel(), tv.ravel())
+        assert len(np.unique(addresses)) == 16 * 16
+        assert addresses.max() < plan.total_nbytes
+
+    def test_small_levels_handled(self):
+        layout = VQCompressedLayout(index_block_w=8)
+        plan = layout.place_texture([(64, 64), (32, 32), (2, 2), (1, 1)])
+        address = layout.addresses(plan.levels[3], np.array([0]), np.array([0]))
+        assert address[0] >= plan.levels[3].base
+
+    def test_rejects_non_pow2_block(self):
+        with pytest.raises(ValueError):
+            VQCompressedLayout(index_block_w=3)
+
+
+class TestCompressRoundtrip:
+    def test_codebook_shape(self):
+        vq = compress(wood(64, 64, seed=1))
+        assert vq.codebook.shape == (CODEBOOK_SIZE, 2, 2, 4)
+        assert vq.indices.shape == (32, 32)
+        assert vq.compression_ratio == 16.0
+
+    def test_two_tone_image_compresses_exactly(self):
+        # A checkerboard with 4-texel squares has few distinct blocks:
+        # VQ reproduces it perfectly.
+        image = checkerboard(32, 32, squares=8)
+        vq = compress(image)
+        restored = decompress(vq)
+        assert mean_squared_error(image, restored) < 1.0
+
+    def test_lossy_but_close_on_natural_texture(self):
+        image = wood(64, 64, seed=2)
+        restored = decompress(compress(image))
+        error = mean_squared_error(image, restored)
+        trivial = mean_squared_error(
+            image, TextureImage.solid(64, 64, tuple(
+                image.texels.reshape(-1, 4).mean(axis=0).astype(np.uint8))))
+        assert error < trivial / 3
+
+    def test_deterministic(self):
+        image = wood(32, 32, seed=3)
+        a = compress(image, seed=5)
+        b = compress(image, seed=5)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_rejects_tiny_image(self):
+        with pytest.raises(ValueError):
+            compress(TextureImage.solid(1, 1))
+
+    def test_nbytes_accounting(self):
+        vq = compress(wood(64, 64))
+        assert vq.compressed_nbytes == 1024
+        assert vq.codebook_nbytes == CODEBOOK_SIZE * 16

@@ -1,0 +1,97 @@
+"""Unit tests for the Table 2.1 cost model (repro.pipeline.costs)."""
+
+from repro.pipeline.costs import (
+    BILINEAR_INTERPOLATION,
+    LEVEL_OF_DETAIL,
+    MODULATION,
+    NEAREST_UVD,
+    OpCounts,
+    PHASE_TABLE,
+    RASTER_AND_SHADING,
+    TRIANGLE_SETUP,
+    TRILINEAR_INTERPOLATION,
+    addressing_ops,
+    fragment_cost,
+    frame_cost,
+)
+from repro.texture.layout import BlockedLayout, NonblockedLayout
+
+import pytest
+
+
+class TestTable21Values:
+    def test_triangle_setup(self):
+        assert TRIANGLE_SETUP.adds == 89
+        assert TRIANGLE_SETUP.multiplies == 64
+        assert TRIANGLE_SETUP.divides == 1
+
+    def test_rasterization(self):
+        assert RASTER_AND_SHADING.adds == 11
+        assert RASTER_AND_SHADING.multiplies == 1
+
+    def test_level_of_detail(self):
+        assert LEVEL_OF_DETAIL.adds == 9
+        assert LEVEL_OF_DETAIL.multiplies == 9
+
+    def test_trilinear(self):
+        assert TRILINEAR_INTERPOLATION.adds == 56
+        assert TRILINEAR_INTERPOLATION.shifts == 28
+        assert TRILINEAR_INTERPOLATION.memory_accesses == 8
+
+    def test_bilinear(self):
+        assert BILINEAR_INTERPOLATION.adds == 24
+        assert BILINEAR_INTERPOLATION.shifts == 12
+        assert BILINEAR_INTERPOLATION.memory_accesses == 4
+
+    def test_modulation(self):
+        assert MODULATION.adds == 8
+        assert MODULATION.multiplies == 4
+
+    def test_nearest(self):
+        assert NEAREST_UVD.adds == 14
+
+    def test_phase_table_complete(self):
+        assert len(PHASE_TABLE) == 8
+
+
+class TestOpCounts:
+    def test_add(self):
+        total = OpCounts(adds=1, shifts=2) + OpCounts(adds=3, multiplies=4)
+        assert total.adds == 4
+        assert total.shifts == 2
+        assert total.multiplies == 4
+
+    def test_mul(self):
+        scaled = OpCounts(adds=2, memory_accesses=1) * 8
+        assert scaled.adds == 16
+        assert scaled.memory_accesses == 8
+        assert (3 * OpCounts(adds=1)).adds == 3
+
+    def test_total_ops(self):
+        assert OpCounts(adds=1, shifts=2, multiplies=3, divides=4).total_ops == 10
+
+
+class TestFragmentCost:
+    def test_trilinear_memory_accesses(self):
+        assert fragment_cost(interpolation="trilinear").memory_accesses == 8
+        assert fragment_cost(interpolation="bilinear").memory_accesses == 4
+
+    def test_layout_addressing_included(self):
+        base = fragment_cost(NonblockedLayout())
+        blocked = fragment_cost(BlockedLayout(8))
+        # Two extra adds per texel, eight texels per fragment.
+        assert blocked.adds - base.adds == 16
+
+    def test_addressing_ops_scaling(self):
+        ops = addressing_ops(NonblockedLayout(), "trilinear")
+        assert ops.adds == 16  # 2 adds x 8 texels
+        assert addressing_ops(NonblockedLayout(), "bilinear").adds == 8
+
+    def test_invalid_interpolation(self):
+        with pytest.raises(ValueError):
+            fragment_cost(interpolation="nearest")
+
+    def test_frame_cost_combines(self):
+        total = frame_cost(n_triangles=10, n_fragments=100)
+        assert total.divides == 10  # one per triangle setup
+        assert total.memory_accesses == 800

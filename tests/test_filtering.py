@@ -1,0 +1,137 @@
+"""Unit tests for repro.texture.filtering (trilinear/bilinear access
+generation, paper Section 2)."""
+
+import numpy as np
+import pytest
+
+from repro.texture.filtering import (
+    KIND_BILINEAR,
+    KIND_LOWER,
+    KIND_UPPER,
+    filter_colors,
+    generate_accesses,
+)
+from repro.texture.image import TextureImage
+from repro.texture.mipmap import MipMap
+from repro.texture.procedural import gradient
+
+
+@pytest.fixture
+def mipmap64():
+    return MipMap.build(TextureImage.solid(64, 64, rgba=(100, 150, 200, 255)))
+
+
+class TestAccessCounts:
+    def test_trilinear_emits_eight(self):
+        accesses = generate_accesses(
+            np.array([0.5]), np.array([0.5]), np.array([1.5]), 7, 64, 64)
+        assert accesses.n_accesses == 8
+
+    def test_bilinear_emits_four(self):
+        accesses = generate_accesses(
+            np.array([0.5]), np.array([0.5]), np.array([-0.5]), 7, 64, 64)
+        assert accesses.n_accesses == 4
+        assert (accesses.kind == KIND_BILINEAR).all()
+        assert (accesses.level == 0).all()
+
+    def test_lod_zero_is_bilinear(self):
+        # Section 2: the special case is a ratio *less than one*
+        # (lod <= 0); exactly 1.0 maps to bilinear at level 0.
+        accesses = generate_accesses(
+            np.array([0.5]), np.array([0.5]), np.array([0.0]), 7, 64, 64)
+        assert accesses.n_accesses == 4
+
+    def test_mixed_fragments_keep_order(self):
+        accesses = generate_accesses(
+            np.array([0.5, 0.5, 0.5]), np.array([0.5, 0.5, 0.5]),
+            np.array([1.5, -1.0, 2.5]), 7, 64, 64)
+        assert accesses.n_accesses == 8 + 4 + 8
+        assert accesses.fragment_index.tolist() == [0] * 8 + [1] * 4 + [2] * 8
+
+
+class TestLevelSelection:
+    def test_trilinear_adjacent_levels(self):
+        accesses = generate_accesses(
+            np.array([0.5]), np.array([0.5]), np.array([2.3]), 7, 64, 64)
+        assert accesses.level[:4].tolist() == [2] * 4
+        assert accesses.level[4:].tolist() == [3] * 4
+        assert accesses.kind[:4].tolist() == [KIND_LOWER] * 4
+        assert accesses.kind[4:].tolist() == [KIND_UPPER] * 4
+
+    def test_lower_level_first(self):
+        # The paper's access order: the more detailed (lower) level's
+        # quad precedes the upper level's quad.
+        accesses = generate_accesses(
+            np.array([0.5]), np.array([0.5]), np.array([1.5]), 7, 64, 64)
+        assert (accesses.level[:4] < accesses.level[4:]).all()
+
+    def test_lod_clamped_to_pyramid_top(self):
+        accesses = generate_accesses(
+            np.array([0.5]), np.array([0.5]), np.array([20.0]), 7, 64, 64)
+        assert (accesses.level == 6).all()
+
+
+class TestCoordinates:
+    def test_footprint_is_2x2(self):
+        accesses = generate_accesses(
+            np.array([0.25]), np.array([0.25]), np.array([-1.0]), 7, 64, 64)
+        # u * 64 - 0.5 = 15.5 -> texels 15, 16.
+        assert sorted(set(accesses.tu.tolist())) == [15, 16]
+        assert sorted(set(accesses.tv.tolist())) == [15, 16]
+
+    def test_wrap_repeat(self):
+        accesses = generate_accesses(
+            np.array([1.25]), np.array([0.25]), np.array([-1.0]), 7, 64, 64)
+        assert sorted(set(accesses.tu.tolist())) == [15, 16]
+        assert sorted(set(accesses.tu_raw.tolist())) == [79, 80]
+
+    def test_wrap_negative(self):
+        accesses = generate_accesses(
+            np.array([0.0]), np.array([0.0]), np.array([-1.0]), 7, 64, 64)
+        # u * 64 - 0.5 = -0.5 -> raw texels -1, 0 -> wrapped 63, 0.
+        assert sorted(set(accesses.tu.tolist())) == [0, 63]
+        assert sorted(set(accesses.tu_raw.tolist())) == [-1, 0]
+
+    def test_upper_level_coordinates_halved(self):
+        accesses = generate_accesses(
+            np.array([0.5]), np.array([0.5]), np.array([1.5]), 7, 64, 64)
+        assert accesses.tu[:4].max() <= 32
+        assert accesses.tu[4:].max() <= 16
+
+
+class TestFilterColors:
+    def test_constant_texture(self, mipmap64):
+        colors = filter_colors(
+            mipmap64, np.array([0.3, 0.8]), np.array([0.1, 0.9]),
+            np.array([1.7, -0.5]))
+        assert np.allclose(colors[:, 0], 100)
+        assert np.allclose(colors[:, 2], 200)
+
+    def test_bilinear_midpoint(self):
+        texels = np.zeros((1, 2, 4), dtype=np.uint8)
+        texels[0, 0] = 0
+        texels[0, 1] = 200
+        # Widths must be powers of two; 2x1 is valid.
+        mipmap = MipMap.build(TextureImage(texels))
+        color = filter_colors(mipmap, np.array([0.5]), np.array([0.5]),
+                              np.array([-1.0]))
+        assert abs(color[0, 0] - 100) < 1e-6
+
+    def test_gradient_monotonic(self):
+        mipmap = MipMap.build(gradient(64, 64))
+        us = np.array([0.2, 0.5, 0.8])
+        colors = filter_colors(mipmap, us, np.full(3, 0.5), np.full(3, -1.0))
+        assert colors[0, 0] < colors[1, 0] < colors[2, 0]
+
+    def test_trilinear_blends_levels(self):
+        # Level 0 dark, checker fine detail averages to mid at level 1+.
+        texels = np.zeros((2, 2, 4), dtype=np.uint8)
+        texels[0, 0] = texels[1, 1] = 200
+        mipmap = MipMap.build(TextureImage(texels))
+        near = filter_colors(mipmap, np.array([0.25]), np.array([0.25]),
+                             np.array([0.01]))
+        far = filter_colors(mipmap, np.array([0.25]), np.array([0.25]),
+                            np.array([0.99]))
+        # Near lod ~0 keeps more of the level-0 value at (0,0) = 200;
+        # far lod ~1 approaches the 1x1 average = 100.
+        assert near[0, 0] > far[0, 0]

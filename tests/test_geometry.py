@@ -1,0 +1,107 @@
+"""Unit tests for repro.geometry (vec, transform)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.transform import (
+    look_at,
+    ndc_to_screen,
+    perspective,
+    rotate_x,
+    rotate_y,
+    rotate_z,
+    scale,
+    transform_points,
+    translate,
+)
+from repro.geometry.vec import (
+    normalize,
+    triangle_normals,
+    vertex_normals,
+)
+
+
+class TestVec:
+    def test_normalize_unit_length(self):
+        vectors = np.array([[3.0, 4.0, 0.0], [0.0, 0.0, 2.0]])
+        result = normalize(vectors)
+        assert np.allclose(np.linalg.norm(result, axis=1), 1.0)
+
+    def test_normalize_zero_safe(self):
+        assert np.allclose(normalize(np.array([0.0, 0.0, 0.0])), 0.0)
+
+    def test_triangle_normals(self):
+        positions = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0]], dtype=float)
+        triangles = np.array([[0, 1, 2]])
+        normals = triangle_normals(positions, triangles)
+        assert np.allclose(normals, [[0, 0, 1]])
+
+    def test_vertex_normals_flat_plane(self):
+        positions = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0], [1, 1, 0]], dtype=float)
+        triangles = np.array([[0, 1, 2], [1, 3, 2]])
+        normals = vertex_normals(positions, triangles)
+        assert np.allclose(normals, [[0, 0, 1]] * 4)
+
+
+class TestTransforms:
+    def test_translate(self):
+        matrix = translate(1.0, 2.0, 3.0)
+        moved = transform_points(matrix, np.array([[0.0, 0.0, 0.0]]))
+        assert np.allclose(moved[0, :3], [1, 2, 3])
+
+    def test_scale(self):
+        moved = transform_points(scale(2.0), np.array([[1.0, 1.0, 1.0]]))
+        assert np.allclose(moved[0, :3], [2, 2, 2])
+
+    def test_rotations_orthonormal(self):
+        for rotation in (rotate_x(0.7), rotate_y(1.1), rotate_z(-0.3)):
+            block = rotation[:3, :3]
+            assert np.allclose(block @ block.T, np.eye(3))
+            assert np.isclose(np.linalg.det(block), 1.0)
+
+    def test_rotate_z_quarter_turn(self):
+        moved = transform_points(rotate_z(np.pi / 2), np.array([[1.0, 0.0, 0.0]]))
+        assert np.allclose(moved[0, :3], [0, 1, 0], atol=1e-12)
+
+    def test_look_at_centers_target(self):
+        view = look_at(eye=(5.0, 3.0, 8.0), target=(1.0, 1.0, 1.0))
+        moved = transform_points(view, np.array([[1.0, 1.0, 1.0]]))
+        # Target lands on the -Z axis in eye space.
+        assert np.allclose(moved[0, :2], 0.0, atol=1e-12)
+        assert moved[0, 2] < 0
+
+    def test_look_at_preserves_distance(self):
+        view = look_at(eye=(2.0, 0.0, 0.0), target=(0.0, 0.0, 0.0))
+        moved = transform_points(view, np.array([[0.0, 0.0, 0.0]]))
+        assert np.isclose(-moved[0, 2], 2.0)
+
+    def test_perspective_near_far_map_to_ndc(self):
+        proj = perspective(90.0, 1.0, near=1.0, far=10.0)
+        near_clip = transform_points(proj, np.array([[0.0, 0.0, -1.0]]))[0]
+        far_clip = transform_points(proj, np.array([[0.0, 0.0, -10.0]]))[0]
+        assert np.isclose(near_clip[2] / near_clip[3], -1.0)
+        assert np.isclose(far_clip[2] / far_clip[3], 1.0)
+
+    def test_perspective_fov(self):
+        proj = perspective(90.0, 1.0, near=1.0, far=10.0)
+        # A point on the 45-degree frustum edge maps to |x/w| = 1.
+        edge = transform_points(proj, np.array([[2.0, 0.0, -2.0]]))[0]
+        assert np.isclose(edge[0] / edge[3], 1.0)
+
+    def test_perspective_validation(self):
+        with pytest.raises(ValueError):
+            perspective(60.0, 1.0, near=0.0, far=10.0)
+        with pytest.raises(ValueError):
+            perspective(60.0, 1.0, near=5.0, far=2.0)
+
+    def test_ndc_to_screen_corners(self):
+        clip = np.array([
+            [-1.0, 1.0, 0.0, 1.0],   # NDC top-left -> pixel (0, 0)
+            [1.0, -1.0, 0.0, 1.0],   # NDC bottom-right -> (w, h)
+            [0.0, 0.0, 0.0, 1.0],    # center
+        ])
+        screen, z, inv_w = ndc_to_screen(clip, 640, 480)
+        assert np.allclose(screen[0], [0, 0])
+        assert np.allclose(screen[1], [640, 480])
+        assert np.allclose(screen[2], [320, 240])
+        assert np.allclose(inv_w, 1.0)

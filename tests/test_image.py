@@ -1,0 +1,99 @@
+"""Unit tests for repro.texture.image."""
+
+import numpy as np
+import pytest
+
+from repro.texture.image import (
+    TEXEL_NBYTES,
+    TextureImage,
+    TextureSet,
+    is_power_of_two,
+    log2_int,
+)
+
+
+class TestPowerOfTwoHelpers:
+    def test_powers_of_two(self):
+        for exponent in range(16):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers(self):
+        for value in (0, -1, -2, 3, 5, 6, 7, 9, 12, 100):
+            assert not is_power_of_two(value)
+
+    def test_log2_int(self):
+        assert log2_int(1) == 0
+        assert log2_int(2) == 1
+        assert log2_int(1024) == 10
+
+    def test_log2_int_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            log2_int(12)
+
+    def test_log2_int_rejects_zero(self):
+        with pytest.raises(ValueError):
+            log2_int(0)
+
+
+class TestTextureImage:
+    def test_basic_construction(self):
+        texels = np.zeros((16, 32, 4), dtype=np.uint8)
+        image = TextureImage(texels, name="t")
+        assert image.width == 32
+        assert image.height == 16
+        assert image.nbytes == 32 * 16 * TEXEL_NBYTES
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            TextureImage(np.zeros((10, 16, 4), dtype=np.uint8))
+
+    def test_rejects_wrong_channels(self):
+        with pytest.raises(ValueError):
+            TextureImage(np.zeros((16, 16, 3), dtype=np.uint8))
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(ValueError):
+            TextureImage(np.zeros((16, 16, 4), dtype=np.float32))
+
+    def test_from_rgb_adds_alpha(self):
+        rgb = np.full((8, 8, 3), 7, dtype=np.uint8)
+        image = TextureImage.from_rgb(rgb)
+        assert image.texels.shape == (8, 8, 4)
+        assert (image.texels[..., 3] == 255).all()
+        assert (image.texels[..., :3] == 7).all()
+
+    def test_from_rgb_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            TextureImage.from_rgb(np.zeros((8, 8, 4), dtype=np.uint8))
+
+    def test_solid(self):
+        image = TextureImage.solid(4, 8, rgba=(1, 2, 3, 4))
+        assert image.width == 4
+        assert image.height == 8
+        assert (image.texels == np.array([1, 2, 3, 4], dtype=np.uint8)).all()
+
+    def test_texel_nbytes_is_paper_value(self):
+        # Section 4.1: "we allocate 32 bits per texel".
+        assert TEXEL_NBYTES == 4
+
+
+class TestTextureSet:
+    def test_ids_are_sequential(self):
+        textures = TextureSet()
+        a = textures.add(TextureImage.solid(4, 4))
+        b = textures.add(TextureImage.solid(8, 8))
+        assert (a, b) == (0, 1)
+        assert len(textures) == 2
+        assert textures[1].width == 8
+
+    def test_total_nbytes(self):
+        textures = TextureSet()
+        textures.add(TextureImage.solid(4, 4))
+        textures.add(TextureImage.solid(8, 8))
+        assert textures.total_nbytes == (16 + 64) * 4
+
+    def test_iteration_order(self):
+        textures = TextureSet()
+        textures.add(TextureImage.solid(4, 4, name="a"))
+        textures.add(TextureImage.solid(4, 4, name="b"))
+        assert [t.name for t in textures] == ["a", "b"]

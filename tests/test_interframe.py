@@ -1,0 +1,66 @@
+"""Tests for animated scenes and warm-cache (inter-frame) simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import CacheConfig, simulate, simulate_sequence
+from repro.pipeline.renderer import render_trace
+from repro.scenes import ALL_SCENES, GobletScene
+from repro.texture.layout import BlockedLayout
+from repro.texture.memory import place_textures
+
+
+class TestSimulateSequence:
+    def test_single_segment_matches_simulate(self):
+        rng = np.random.default_rng(2)
+        addresses = rng.integers(0, 4096, size=3000) * 4
+        config = CacheConfig(512, 32, 2)
+        sequence = simulate_sequence([addresses], config)
+        direct = simulate(addresses, config)
+        assert sequence[0].misses == direct.misses
+        assert sequence[0].accesses == direct.accesses
+        assert sequence[0].cold_misses == direct.cold_misses
+
+    def test_warm_start_helps_small_working_set(self):
+        # Same addresses twice: the repeat segment hits entirely if the
+        # cache holds the footprint.
+        addresses = np.arange(0, 2048, 4)
+        config = CacheConfig(4096, 32)
+        first, second = simulate_sequence([addresses, addresses], config)
+        assert first.misses == 64
+        assert second.misses == 0
+
+    def test_warm_start_useless_below_footprint(self):
+        # Footprint twice the cache: LRU evicts everything before reuse.
+        addresses = np.arange(0, 8192, 4)
+        config = CacheConfig(4096, 32)
+        first, second = simulate_sequence([addresses, addresses], config)
+        assert second.misses == first.misses
+
+    def test_cold_misses_not_recounted(self):
+        addresses = np.arange(0, 2048, 4)
+        config = CacheConfig(1024, 32)
+        first, second = simulate_sequence([addresses, addresses], config)
+        assert first.cold_misses == 64
+        assert second.cold_misses == 0
+
+
+class TestAnimatedScenes:
+    @pytest.mark.parametrize("name", sorted(ALL_SCENES))
+    def test_time_moves_camera_only(self, name):
+        frame0 = ALL_SCENES[name]().build(scale=0.1, time=0.0)
+        frame1 = ALL_SCENES[name]().build(scale=0.1, time=0.5)
+        assert not np.allclose(frame0.view, frame1.view)
+        assert np.array_equal(frame0.mesh.positions, frame1.mesh.positions)
+        assert frame0.n_textures == frame1.n_textures
+
+    def test_consecutive_frames_share_texture_footprint(self):
+        # A 1/30s camera step leaves most of the referenced texels
+        # identical -- the reuse inter-frame caching would exploit.
+        scene0 = GobletScene().build(scale=0.15, time=0.0)
+        scene1 = GobletScene().build(scale=0.15, time=1.0 / 30.0)
+        placements = place_textures(scene0.get_mipmaps(), BlockedLayout(4))
+        lines0 = set((render_trace(scene0).trace.byte_addresses(placements) // 64).tolist())
+        lines1 = set((render_trace(scene1).trace.byte_addresses(placements) // 64).tolist())
+        overlap = len(lines0 & lines1) / len(lines0 | lines1)
+        assert overlap > 0.8

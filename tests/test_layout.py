@@ -1,0 +1,252 @@
+"""Unit tests for the texture memory representations (paper Sections
+5.1-5.3, 6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.texture.image import TEXEL_NBYTES
+from repro.texture.layout import (
+    Blocked6DLayout,
+    BlockedLayout,
+    NonblockedLayout,
+    PaddedBlockedLayout,
+    WilliamsLayout,
+    make_layout,
+)
+
+
+def square_shapes(side):
+    """Pyramid level shapes for a square texture."""
+    shapes = []
+    while side >= 1:
+        shapes.append((side, side))
+        side //= 2
+    return shapes
+
+
+def all_coords(width, height):
+    tv, tu = np.mgrid[0:height, 0:width]
+    return tu.ravel(), tv.ravel()
+
+
+class TestNonblocked:
+    def test_row_major_addresses(self):
+        layout = NonblockedLayout()
+        plan = layout.place_texture([(8, 8)])
+        tu = np.array([0, 1, 0, 7])
+        tv = np.array([0, 0, 1, 7])
+        addresses = layout.addresses(plan.levels[0], tu, tv)
+        assert addresses.tolist() == [0, 4, 32, (7 * 8 + 7) * 4]
+
+    def test_levels_are_contiguous(self):
+        layout = NonblockedLayout()
+        plan = layout.place_texture(square_shapes(8))
+        assert plan.levels[0].base == 0
+        assert plan.levels[1].base == 8 * 8 * 4
+        assert plan.levels[2].base == (64 + 16) * 4
+        assert plan.total_nbytes == (64 + 16 + 4 + 1) * 4
+
+    def test_bijective_within_level(self):
+        layout = NonblockedLayout()
+        plan = layout.place_texture([(16, 8)])
+        tu, tv = all_coords(16, 8)
+        addresses = layout.addresses(plan.levels[0], tu, tv)
+        assert len(np.unique(addresses)) == 16 * 8
+
+    def test_addressing_cost(self):
+        cost = NonblockedLayout().addressing_cost()
+        assert cost.adds == 2
+        assert cost.shifts == 1
+        assert cost.accesses_per_texel == 1
+
+
+class TestBlocked:
+    def test_block_interior_is_contiguous(self):
+        layout = BlockedLayout(block_w=4)
+        plan = layout.place_texture([(16, 16)])
+        tu, tv = all_coords(4, 4)  # first block
+        addresses = layout.addresses(plan.levels[0], tu, tv)
+        assert sorted(addresses.tolist()) == list(range(0, 64, 4))
+
+    def test_second_block_follows_first(self):
+        layout = BlockedLayout(block_w=4)
+        plan = layout.place_texture([(16, 16)])
+        address = layout.addresses(plan.levels[0], np.array([4]), np.array([0]))
+        assert address[0] == 4 * 4 * TEXEL_NBYTES
+
+    def test_block_row_stride(self):
+        layout = BlockedLayout(block_w=4)
+        plan = layout.place_texture([(16, 16)])
+        address = layout.addresses(plan.levels[0], np.array([0]), np.array([4]))
+        # Second block row starts after 4 blocks of 16 texels.
+        assert address[0] == 4 * 16 * TEXEL_NBYTES
+
+    def test_matches_paper_formula(self):
+        # Section 5.3.1 with bw = bh = 8, a 32-texel-wide level.
+        layout = BlockedLayout(block_w=8)
+        plan = layout.place_texture([(32, 32)])
+        tu = np.array([13])
+        tv = np.array([21])
+        bx, by = 13 >> 3, 21 >> 3
+        sx, sy = 13 & 7, 21 & 7
+        rs = (32 * 8).bit_length() - 1  # log2(width * bh)
+        bs = 6  # log2(64)
+        expected = ((by << rs) + (bx << bs) + (sy << 3) + sx) * TEXEL_NBYTES
+        assert layout.addresses(plan.levels[0], tu, tv)[0] == expected
+
+    def test_bijective_within_level(self):
+        layout = BlockedLayout(block_w=8)
+        plan = layout.place_texture([(32, 16)])
+        tu, tv = all_coords(32, 16)
+        addresses = layout.addresses(plan.levels[0], tu, tv)
+        assert len(np.unique(addresses)) == 32 * 16
+
+    def test_small_levels_padded_to_full_block(self):
+        layout = BlockedLayout(block_w=8)
+        plan = layout.place_texture(square_shapes(16))
+        # 2x2 and 1x1 levels still occupy one whole 8x8 block.
+        level_sizes = np.diff([lvl.base for lvl in plan.levels] + [plan.total_nbytes])
+        assert level_sizes[-1] == 8 * 8 * TEXEL_NBYTES
+
+    def test_rejects_non_pow2_block(self):
+        with pytest.raises(ValueError):
+            BlockedLayout(block_w=3)
+
+    def test_addressing_overhead_two_adds(self):
+        # Section 5.3.1: "the aggregate hardware overhead of the blocked
+        # representation compared to the base representation simply
+        # consists of two additions."
+        base = NonblockedLayout().addressing_cost()
+        blocked = BlockedLayout(8).addressing_cost()
+        assert blocked.adds - base.adds == 2
+
+
+class TestPaddedBlocked:
+    def test_pad_adds_row_offset(self):
+        blocked = BlockedLayout(block_w=4)
+        padded = PaddedBlockedLayout(block_w=4, pad_blocks=4)
+        plan_b = blocked.place_texture([(16, 16)])
+        plan_p = padded.place_texture([(16, 16)])
+        tu = np.array([0])
+        tv = np.array([4])  # block row 1
+        delta = (padded.addresses(plan_p.levels[0], tu, tv)[0]
+                 - blocked.addresses(plan_b.levels[0], tu, tv)[0])
+        # One pad of 4 blocks of 16 texels each.
+        assert delta == 4 * 16 * TEXEL_NBYTES
+
+    def test_matches_paper_pad_formula(self):
+        # Section 6.2: texel address = blocked + (by << ps),
+        # ps = log2(bw * bh * pad_blocks).
+        padded = PaddedBlockedLayout(block_w=8, pad_blocks=4)
+        blocked = BlockedLayout(block_w=8)
+        plan_p = padded.place_texture([(64, 64)])
+        plan_b = blocked.place_texture([(64, 64)])
+        ps = (8 * 8 * 4).bit_length() - 1
+        for tv_value in (0, 8, 17, 63):
+            by = tv_value >> 3
+            tu = np.array([5])
+            tv = np.array([tv_value])
+            expected = (blocked.addresses(plan_b.levels[0], tu, tv)[0]
+                        + ((by << ps) * TEXEL_NBYTES))
+            assert padded.addresses(plan_p.levels[0], tu, tv)[0] == expected
+
+    def test_allocation_includes_pads(self):
+        padded = PaddedBlockedLayout(block_w=4, pad_blocks=2)
+        plan = padded.place_texture([(16, 16)])
+        assert plan.total_nbytes == (4 + 2) * 4 * (16 * TEXEL_NBYTES)
+
+    def test_bijective(self):
+        layout = PaddedBlockedLayout(block_w=4, pad_blocks=2)
+        plan = layout.place_texture([(32, 32)])
+        tu, tv = all_coords(32, 32)
+        assert len(np.unique(layout.addresses(plan.levels[0], tu, tv))) == 1024
+
+    def test_one_extra_add(self):
+        assert (PaddedBlockedLayout(8).addressing_cost().adds
+                - BlockedLayout(8).addressing_cost().adds) == 1
+
+    def test_rejects_non_pow2_pad(self):
+        with pytest.raises(ValueError):
+            PaddedBlockedLayout(8, pad_blocks=3)
+
+
+class TestBlocked6D:
+    def test_superblock_side_fits_cache(self):
+        layout = Blocked6DLayout(block_w=8, superblock_nbytes=32 * 1024)
+        # 32 KB / 256 B per block = 128 blocks -> side 8 (64 blocks),
+        # since 16x16 = 256 > 128.
+        assert layout.super_side == 8
+
+    def test_superblock_is_contiguous(self):
+        layout = Blocked6DLayout(block_w=4, superblock_nbytes=4 * 64)
+        # 4 blocks max -> side 2: a 2x2-block superblock (8x8 texels).
+        assert layout.super_side == 2
+        plan = layout.place_texture([(16, 16)])
+        tu, tv = all_coords(8, 8)  # the first superblock
+        addresses = layout.addresses(plan.levels[0], tu, tv)
+        assert sorted(addresses.tolist()) == list(range(0, 256, 4))
+
+    def test_bijective(self):
+        layout = Blocked6DLayout(block_w=4, superblock_nbytes=1024)
+        plan = layout.place_texture([(32, 32)])
+        tu, tv = all_coords(32, 32)
+        assert len(np.unique(layout.addresses(plan.levels[0], tu, tv))) == 1024
+
+    def test_two_extra_adds(self):
+        assert (Blocked6DLayout(8).addressing_cost().adds
+                - BlockedLayout(8).addressing_cost().adds) == 2
+
+    def test_rejects_tiny_superblock(self):
+        with pytest.raises(ValueError):
+            Blocked6DLayout(block_w=8, superblock_nbytes=64)
+
+
+class TestWilliams:
+    def test_three_accesses_per_texel(self):
+        layout = WilliamsLayout()
+        plan = layout.place_texture(square_shapes(8))
+        addresses = layout.addresses(plan.levels[0], np.array([0, 1]), np.array([0, 0]))
+        assert addresses.shape == (2, 3)
+        assert layout.accesses_per_texel == 3
+
+    def test_components_power_of_two_apart(self):
+        # Section 5.1: "the individual color components of a texel are
+        # always separated by powers of two bytes in memory".
+        layout = WilliamsLayout()
+        plan = layout.place_texture(square_shapes(64))
+        addresses = layout.addresses(plan.levels[0], np.array([3]), np.array([5]))[0]
+        red, green, blue = addresses.tolist()
+        assert (green - red) & (green - red - 1) == 0
+        assert (blue - red) & (blue - red - 1) == 0
+
+    def test_canvas_size(self):
+        layout = WilliamsLayout()
+        plan = layout.place_texture(square_shapes(16))
+        assert plan.total_nbytes == 32 * 32
+
+    def test_levels_nested_along_diagonal(self):
+        layout = WilliamsLayout()
+        plan = layout.place_texture(square_shapes(16))
+        assert plan.levels[0].base == 0
+        assert plan.levels[1].base == 16 * 32 + 16
+
+    def test_component_addresses_unique(self):
+        layout = WilliamsLayout()
+        plan = layout.place_texture(square_shapes(16))
+        tu, tv = all_coords(16, 16)
+        addresses = layout.addresses(plan.levels[0], tu, tv)
+        assert len(np.unique(addresses)) == 3 * 256
+
+
+class TestMakeLayout:
+    def test_dispatch(self):
+        assert isinstance(make_layout("nonblocked"), NonblockedLayout)
+        assert isinstance(make_layout("blocked", block_w=4), BlockedLayout)
+        assert make_layout("blocked", block_w=4).block_w == 4
+        assert isinstance(make_layout("padded"), PaddedBlockedLayout)
+        assert isinstance(make_layout("blocked6d"), Blocked6DLayout)
+        assert isinstance(make_layout("williams"), WilliamsLayout)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_layout("morton")

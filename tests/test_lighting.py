@@ -1,0 +1,28 @@
+"""Unit tests for vertex lighting (repro.geometry.lighting)."""
+
+import numpy as np
+
+from repro.geometry.lighting import DirectionalLight, light_mesh
+from repro.geometry.mesh import make_quad
+
+
+class TestDirectionalLight:
+    def test_facing_light_is_brightest(self):
+        light = DirectionalLight(direction=(0, 0, 1), ambient=0.2, diffuse=0.8)
+        normals = np.array([[0, 0, 1.0], [0, 0, -1.0], [1.0, 0, 0]])
+        shade = light.shade(normals)
+        assert shade[0] == 1.0
+        assert shade[1] == 0.2  # backfacing: ambient only
+        assert shade[2] == 0.2  # perpendicular
+
+    def test_clamped_to_unit(self):
+        light = DirectionalLight(direction=(0, 0, 1), ambient=0.9, diffuse=0.9)
+        shade = light.shade(np.array([[0, 0, 1.0]]))
+        assert shade[0] == 1.0
+
+    def test_light_mesh_shape(self):
+        quad = make_quad(np.array([[0, 0, 0], [1, 0, 0], [1, 1, 0], [0, 1, 0]],
+                                  dtype=float), texture_id=0)
+        colors = light_mesh(quad, DirectionalLight(direction=(0, 0, 1)))
+        assert colors.shape == (4, 3)
+        assert np.allclose(colors, 1.0)

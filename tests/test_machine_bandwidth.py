@@ -1,0 +1,84 @@
+"""Unit tests for the machine model and bandwidth accounting (paper
+Section 7)."""
+
+import pytest
+
+from repro.core.bandwidth import (
+    GBYTE,
+    MBYTE,
+    cached_bandwidth,
+    mbytes_per_second,
+    reduction_factor,
+    uncached_bandwidth,
+)
+from repro.core.machine import PAPER_MACHINE, MachineModel
+
+
+class TestMachineModel:
+    def test_peak_fragment_rate_is_50M(self):
+        # Section 7.1.1: 100 MHz, 4 texels/cycle, 8 texels/fragment.
+        assert PAPER_MACHINE.peak_fragments_per_second == 50e6
+
+    def test_single_port_limits_to_12_5M(self):
+        machine = MachineModel(texels_per_cycle=1)
+        assert machine.peak_fragments_per_second == 12.5e6
+
+    def test_line_fill_latency_roughly_fifty_cycles(self):
+        # Section 7.1.1: "roughly fifty 10ns cycles for a 128 byte
+        # cache line".
+        assert PAPER_MACHINE.miss_latency_cycles(128) == 50.0
+
+    def test_latency_hidden_sustains_peak(self):
+        rate = PAPER_MACHINE.fragments_per_second(0.05, 128, latency_hidden=True)
+        assert rate == PAPER_MACHINE.peak_fragments_per_second
+
+    def test_unhidden_latency_degrades_rate(self):
+        rate = PAPER_MACHINE.fragments_per_second(0.05, 128, latency_hidden=False)
+        assert rate < PAPER_MACHINE.peak_fragments_per_second
+        # miss_rate=0: back to the port-limited peak.
+        ideal = PAPER_MACHINE.fragments_per_second(0.0, 128, latency_hidden=False)
+        assert ideal == PAPER_MACHINE.peak_fragments_per_second
+
+    def test_degradation_monotonic_in_miss_rate(self):
+        rates = [PAPER_MACHINE.fragments_per_second(m, 128, latency_hidden=False)
+                 for m in (0.0, 0.01, 0.05, 0.2)]
+        assert all(a > b for a, b in zip(rates, rates[1:]))
+
+    def test_frame_texels(self):
+        assert PAPER_MACHINE.frame_texels(1000) == 8000
+
+
+class TestBandwidth:
+    def test_uncached_is_paper_1_5_gbytes(self):
+        # Section 7.2: 4 bytes/texel * 8 texels/fragment * 50M/s.
+        assert uncached_bandwidth() == 1.6e9
+        assert uncached_bandwidth() / GBYTE == pytest.approx(1.49, abs=0.01)
+
+    def test_table_7_1_town_32k_32b(self):
+        # Table 7.1: Town, 32KB/32B/2-way, miss rate 0.81% -> 99 MB/s.
+        bandwidth = cached_bandwidth(0.0081, 32)
+        assert mbytes_per_second(bandwidth) == pytest.approx(99, abs=1.0)
+
+    def test_table_7_1_flight_4k_128b(self):
+        # Table 7.1: Flight, 4KB/128B, miss rate 1.25% -> 610 MB/s.
+        bandwidth = cached_bandwidth(0.0125, 128)
+        assert mbytes_per_second(bandwidth) == pytest.approx(610, abs=2.0)
+
+    def test_reduction_factor_three_to_fifteen(self):
+        # Section 7.2's headline range for 32 KB caches: the measured
+        # 32KB miss rates (Table 7.1) imply 3-15x less bandwidth.
+        low = reduction_factor(0.0087, 128)   # Flight 32KB/128B, worst
+        high = reduction_factor(0.0081, 32)   # Town 32KB/32B, best
+        assert 3 < low < high < 16
+
+    def test_zero_miss_rate_infinite_reduction(self):
+        assert reduction_factor(0.0, 128) == float("inf")
+
+    def test_rejects_bad_miss_rate(self):
+        with pytest.raises(ValueError):
+            cached_bandwidth(1.5, 32)
+
+    def test_units(self):
+        assert MBYTE == 2**20
+        assert GBYTE == 2**30
+        assert mbytes_per_second(2**20) == 1.0

@@ -1,0 +1,86 @@
+"""Unit tests for repro.texture.memory."""
+
+import numpy as np
+import pytest
+
+from repro.texture.image import TextureImage
+from repro.texture.layout import BlockedLayout, NonblockedLayout
+from repro.texture.memory import TextureMemory, place_textures
+from repro.texture.mipmap import MipMap
+
+
+def mipmap(side):
+    return MipMap.build(TextureImage.solid(side, side))
+
+
+class TestTextureMemory:
+    def test_bump_allocation(self):
+        memory = TextureMemory(alignment=16)
+        assert memory.alloc(100) == 0
+        assert memory.alloc(10) == 112  # rounded up to 16
+        assert memory.used_nbytes == 122
+
+    def test_alignment(self):
+        memory = TextureMemory(alignment=64)
+        memory.alloc(1)
+        assert memory.alloc(1) == 64
+
+    def test_rejects_bad_alignment(self):
+        with pytest.raises(ValueError):
+            TextureMemory(alignment=0)
+
+    def test_rejects_negative_alloc(self):
+        with pytest.raises(ValueError):
+            TextureMemory().alloc(-1)
+
+    def test_place_assigns_ids(self):
+        memory = TextureMemory()
+        layout = NonblockedLayout()
+        first = memory.place(mipmap(8), layout)
+        second = memory.place(mipmap(8), layout)
+        assert first.texture_id == 0
+        assert second.texture_id == 1
+        assert second.base >= first.base + first.total_nbytes
+
+
+class TestPlacedTexture:
+    def test_addresses_are_absolute(self):
+        memory = TextureMemory(alignment=16)
+        layout = NonblockedLayout()
+        memory.alloc(160)  # push the texture off zero
+        placed = memory.place(mipmap(8), layout)
+        address = placed.addresses(0, np.array([0]), np.array([0]))
+        assert address[0] == placed.base
+        assert placed.base == 160
+
+    def test_level_indexing(self):
+        memory = TextureMemory()
+        placed = memory.place(mipmap(8), NonblockedLayout())
+        level1 = placed.addresses(1, np.array([0]), np.array([0]))
+        assert level1[0] == placed.base + 8 * 8 * 4
+        assert placed.n_levels == 4
+
+    def test_multi_access_layout_shape(self):
+        from repro.texture.layout import WilliamsLayout
+        memory = TextureMemory()
+        placed = memory.place(mipmap(8), WilliamsLayout())
+        addresses = placed.addresses(0, np.array([1, 2, 3]), np.array([0, 0, 0]))
+        assert addresses.shape == (3, 3)
+
+
+class TestPlaceTextures:
+    def test_texture_id_order(self):
+        placements = place_textures([mipmap(8), mipmap(16)], BlockedLayout(4))
+        assert [p.texture_id for p in placements] == [0, 1]
+
+    def test_no_overlap(self):
+        placements = place_textures([mipmap(8), mipmap(16), mipmap(8)],
+                                    NonblockedLayout())
+        spans = [(p.base, p.base + p.total_nbytes) for p in placements]
+        for (s0, e0), (s1, e1) in zip(spans, spans[1:]):
+            assert e0 <= s1
+
+    def test_fresh_address_space(self):
+        first = place_textures([mipmap(8)], NonblockedLayout())
+        second = place_textures([mipmap(8)], NonblockedLayout())
+        assert first[0].base == second[0].base

@@ -1,0 +1,123 @@
+"""Unit tests for repro.geometry.mesh."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.mesh import Mesh, make_grid, make_quad
+from repro.geometry.transform import translate
+
+
+def simple_mesh():
+    return Mesh(
+        positions=np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0]], dtype=float),
+        uvs=np.zeros((3, 2)),
+        triangles=np.array([[0, 1, 2]]),
+        texture_ids=np.array([5]),
+    )
+
+
+class TestMeshValidation:
+    def test_basic(self):
+        mesh = simple_mesh()
+        assert mesh.n_vertices == 3
+        assert mesh.n_triangles == 1
+
+    def test_rejects_bad_uvs(self):
+        with pytest.raises(ValueError):
+            Mesh(positions=np.zeros((3, 3)), uvs=np.zeros((2, 2)),
+                 triangles=np.array([[0, 1, 2]]), texture_ids=np.array([0]))
+
+    def test_rejects_out_of_range_index(self):
+        with pytest.raises(ValueError):
+            Mesh(positions=np.zeros((3, 3)), uvs=np.zeros((3, 2)),
+                 triangles=np.array([[0, 1, 3]]), texture_ids=np.array([0]))
+
+    def test_rejects_mismatched_texture_ids(self):
+        with pytest.raises(ValueError):
+            Mesh(positions=np.zeros((3, 3)), uvs=np.zeros((3, 2)),
+                 triangles=np.array([[0, 1, 2]]), texture_ids=np.array([0, 1]))
+
+
+class TestTransformed:
+    def test_translation_moves_positions(self):
+        mesh = simple_mesh().transformed(translate(1.0, 0.0, 0.0))
+        assert np.allclose(mesh.positions[0], [1, 0, 0])
+
+    def test_original_untouched(self):
+        mesh = simple_mesh()
+        mesh.transformed(translate(1.0, 0.0, 0.0))
+        assert np.allclose(mesh.positions[0], [0, 0, 0])
+
+
+class TestConcat:
+    def test_preserves_submission_order(self):
+        a = simple_mesh()
+        b = simple_mesh()
+        b.texture_ids = np.array([9])
+        merged = Mesh.concat([a, b])
+        assert merged.texture_ids.tolist() == [5, 9]
+        assert merged.n_vertices == 6
+        assert merged.triangles[1].tolist() == [3, 4, 5]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh.concat([])
+
+
+class TestMakeQuad:
+    def test_two_triangles_unsubdivided(self):
+        quad = make_quad(np.array([[0, 0, 0], [1, 0, 0], [1, 1, 0], [0, 1, 0]],
+                                  dtype=float), texture_id=3)
+        assert quad.n_triangles == 2
+        assert (quad.texture_ids == 3).all()
+
+    def test_subdivision_counts(self):
+        quad = make_quad(np.array([[0, 0, 0], [1, 0, 0], [1, 1, 0], [0, 1, 0]],
+                                  dtype=float), texture_id=0, subdivide=4)
+        assert quad.n_triangles == 32
+        assert quad.n_vertices == 25
+
+    def test_uv_rect_repeats(self):
+        quad = make_quad(np.array([[0, 0, 0], [1, 0, 0], [1, 1, 0], [0, 1, 0]],
+                                  dtype=float), texture_id=0,
+                         uv_rect=(0.0, 0.0, 3.0, 2.0))
+        assert quad.uvs[:, 0].max() == 3.0
+        assert quad.uvs[:, 1].max() == 2.0
+
+    def test_corner_interpolation(self):
+        corners = np.array([[0, 0, 0], [2, 0, 0], [2, 2, 0], [0, 2, 0]], dtype=float)
+        quad = make_quad(corners, texture_id=0, subdivide=2)
+        # Center vertex sits at the quad center.
+        center = quad.positions[4]
+        assert np.allclose(center, [1, 1, 0])
+
+    def test_rejects_bad_corners(self):
+        with pytest.raises(ValueError):
+            make_quad(np.zeros((3, 3)), texture_id=0)
+
+    def test_rejects_bad_subdivide(self):
+        with pytest.raises(ValueError):
+            make_quad(np.zeros((4, 3)), texture_id=0, subdivide=0)
+
+
+class TestMakeGrid:
+    def test_triangle_count(self):
+        grid = make_grid(np.zeros((4, 5)), cell_size=1.0, texture_id=0)
+        assert grid.n_triangles == 2 * 3 * 4
+        assert grid.n_vertices == 20
+
+    def test_heights_applied(self):
+        heights = np.zeros((2, 2))
+        heights[1, 1] = 5.0
+        grid = make_grid(heights, cell_size=2.0, texture_id=0)
+        assert np.allclose(grid.positions[3], [2.0, 5.0, 2.0])
+
+    def test_uv_span(self):
+        grid = make_grid(np.zeros((3, 3)), cell_size=1.0, texture_id=0,
+                         uv_scale=2.0)
+        assert grid.uvs.max() == 2.0
+        assert grid.uvs.min() == 0.0
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            make_grid(np.zeros((1, 5)), cell_size=1.0, texture_id=0)

@@ -1,0 +1,106 @@
+"""Unit tests for locality metrics (repro.analysis.metrics)."""
+
+import numpy as np
+
+from repro.analysis.metrics import (
+    accesses_per_texel,
+    level_histogram,
+    mean_texture_runlength,
+    repetition_factor,
+    texture_runlengths,
+)
+from repro.pipeline.trace import TexelTrace, TraceBuilder
+from repro.texture.filtering import generate_accesses
+
+
+def make_trace(texture_id, level, tu, tv, kind, tu_raw=None, tv_raw=None):
+    n = len(level)
+    return TexelTrace(
+        texture_id=np.asarray(texture_id, dtype=np.int16),
+        level=np.asarray(level, dtype=np.int16),
+        tu=np.asarray(tu, dtype=np.int32),
+        tv=np.asarray(tv, dtype=np.int32),
+        tu_raw=np.asarray(tu if tu_raw is None else tu_raw, dtype=np.int32),
+        tv_raw=np.asarray(tv if tv_raw is None else tv_raw, dtype=np.int32),
+        kind=np.asarray(kind, dtype=np.uint8),
+        n_fragments=n // 8,
+    )
+
+
+class TestAccessesPerTexel:
+    def test_simple_overlap(self):
+        # Four lower-kind accesses to two distinct texels -> 2.0.
+        trace = make_trace([0] * 4, [0] * 4, [0, 1, 0, 1], [0, 0, 0, 0],
+                           [1, 1, 1, 1])
+        result = accesses_per_texel(trace)
+        assert result.lower == 2.0
+        assert result.upper == 0.0
+        assert result.bilinear == 0.0
+
+    def test_kinds_independent(self):
+        trace = make_trace([0] * 4, [0, 0, 1, 1], [0, 0, 0, 0], [0, 0, 0, 0],
+                           [1, 1, 2, 2])
+        result = accesses_per_texel(trace)
+        assert result.lower == 2.0
+        assert result.upper == 2.0
+
+    def test_adjacent_fragment_overlap(self):
+        # Two fragments one texel apart at lod 1.5: their lower-level
+        # footprints share two texels.
+        accesses = generate_accesses(
+            np.array([0.5, 0.5 + 1 / 64]), np.array([0.5, 0.5]),
+            np.array([1.5, 1.5]), 6, 64, 64)
+        builder = TraceBuilder()
+        builder.append(0, accesses, 2)
+        result = accesses_per_texel(builder.build())
+        assert result.lower == 8 / 6
+        assert result.upper == 8 / 4  # footprints coincide at level 2
+
+
+class TestRepetition:
+    def test_no_repetition(self):
+        trace = make_trace([0] * 4, [0] * 4, [0, 1, 2, 3], [0] * 4, [1] * 4)
+        assert repetition_factor(trace) == 1.0
+
+    def test_wrapped_copies_counted(self):
+        # Raw coords span two copies of a 4-texel row.
+        trace = make_trace([0] * 8, [0] * 8,
+                           tu=[0, 1, 2, 3, 0, 1, 2, 3],
+                           tv=[0] * 8, kind=[1] * 8,
+                           tu_raw=[0, 1, 2, 3, 4, 5, 6, 7])
+        assert repetition_factor(trace) == 2.0
+
+    def test_negative_raw_coords_safe(self):
+        trace = make_trace([0] * 2, [0] * 2, tu=[15, 0], tv=[0, 0],
+                           kind=[1, 1], tu_raw=[-1, 0])
+        assert repetition_factor(trace) == 1.0
+
+    def test_empty_trace(self):
+        trace = TraceBuilder().build()
+        assert repetition_factor(trace) == 1.0
+
+
+class TestRunlengths:
+    def test_runs(self):
+        trace = make_trace([0, 0, 1, 1, 1, 0], [0] * 6, [0] * 6, [0] * 6,
+                           [1] * 6)
+        assert texture_runlengths(trace).tolist() == [2, 3, 1]
+        assert mean_texture_runlength(trace) == 2.0
+
+    def test_single_texture(self):
+        trace = make_trace([3] * 10, [0] * 10, [0] * 10, [0] * 10, [1] * 10)
+        assert texture_runlengths(trace).tolist() == [10]
+
+    def test_empty(self):
+        trace = TraceBuilder().build()
+        assert len(texture_runlengths(trace)) == 0
+        assert mean_texture_runlength(trace) == 0.0
+
+
+class TestLevelHistogram:
+    def test_counts(self):
+        trace = make_trace([0] * 5, [0, 0, 1, 2, 2], [0] * 5, [0] * 5, [1] * 5)
+        assert level_histogram(trace).tolist() == [2, 1, 2]
+
+    def test_empty(self):
+        assert level_histogram(TraceBuilder().build()).tolist() == [0]

@@ -1,0 +1,78 @@
+"""Unit tests for repro.texture.mipmap."""
+
+import numpy as np
+import pytest
+
+from repro.texture.image import TextureImage
+from repro.texture.mipmap import MipMap, build_mipmaps, downsample
+from repro.texture.procedural import checkerboard
+
+
+class TestDownsample:
+    def test_halves_dimensions(self):
+        texels = np.zeros((8, 16, 4), dtype=np.uint8)
+        assert downsample(texels).shape == (4, 8, 4)
+
+    def test_preserves_unit_axis(self):
+        texels = np.zeros((1, 8, 4), dtype=np.uint8)
+        assert downsample(texels).shape == (1, 4, 4)
+
+    def test_box_filter_average(self):
+        texels = np.zeros((2, 2, 4), dtype=np.uint8)
+        texels[0, 0] = 100
+        texels[0, 1] = 200
+        texels[1, 0] = 0
+        texels[1, 1] = 100
+        result = downsample(texels)
+        assert result.shape == (1, 1, 4)
+        assert abs(int(result[0, 0, 0]) - 100) <= 1
+
+    def test_constant_stays_constant(self):
+        texels = np.full((8, 8, 4), 77, dtype=np.uint8)
+        assert (downsample(texels) == 77).all()
+
+
+class TestMipMap:
+    def test_level_count_square(self):
+        mipmap = MipMap.build(TextureImage.solid(64, 64))
+        assert mipmap.n_levels == 7  # 64..1
+        assert mipmap.max_level == 6
+        assert mipmap.level_shape(0) == (64, 64)
+        assert mipmap.level_shape(6) == (1, 1)
+
+    def test_level_count_rectangular(self):
+        mipmap = MipMap.build(TextureImage.solid(64, 16))
+        # 64x16 -> 32x8 -> 16x4 -> 8x2 -> 4x1 -> 2x1 -> 1x1
+        assert mipmap.n_levels == 7
+        assert mipmap.level_shape(4) == (4, 1)
+
+    def test_nbytes_is_four_thirds(self):
+        mipmap = MipMap.build(TextureImage.solid(256, 256))
+        base = 256 * 256 * 4
+        assert base < mipmap.nbytes < base * 4 / 3 * 1.01
+
+    def test_level_log2(self):
+        mipmap = MipMap.build(TextureImage.solid(32, 16))
+        assert mipmap.level_log2(0) == (5, 4)
+        assert mipmap.level_log2(1) == (4, 3)
+
+    def test_sample_gathers(self):
+        image = checkerboard(8, 8, squares=2, color_a=(255, 0, 0),
+                             color_b=(0, 0, 255))
+        mipmap = MipMap.build(image)
+        colors = mipmap.sample(0, np.array([0, 4]), np.array([0, 0]))
+        assert colors[0][0] == 255
+        assert colors[1][2] == 255
+
+    def test_build_mipmaps_order(self):
+        images = [TextureImage.solid(4, 4, name="a"), TextureImage.solid(8, 8, name="b")]
+        mipmaps = build_mipmaps(images)
+        assert [m.name for m in mipmaps] == ["a", "b"]
+        assert mipmaps[1].level_shape(0) == (8, 8)
+
+    def test_coarsest_level_is_global_average(self):
+        texels = np.zeros((4, 4, 4), dtype=np.uint8)
+        texels[:, :2] = 200
+        mipmap = MipMap.build(TextureImage(texels))
+        top = mipmap.levels[-1][0, 0]
+        assert 90 <= top[0] <= 110

@@ -1,0 +1,137 @@
+"""Unit tests for traversal orders (repro.raster.order)."""
+
+import numpy as np
+import pytest
+
+from repro.raster.order import (
+    HilbertOrder,
+    HorizontalOrder,
+    TiledOrder,
+    VerticalOrder,
+    make_order,
+    _hilbert_d,
+)
+
+
+@pytest.fixture
+def grid16():
+    ys, xs = np.mgrid[0:16, 0:16]
+    return xs.ravel(), ys.ravel()
+
+
+def shuffled(x, y, seed=0):
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(len(x))
+    return x[perm], y[perm]
+
+
+class TestHorizontalVertical:
+    def test_horizontal_row_major(self, grid16):
+        x, y = shuffled(*grid16)
+        order = HorizontalOrder().argsort(x, y)
+        xs, ys = x[order], y[order]
+        assert (np.diff(ys) >= 0).all()
+        rows = ys * 16 + xs
+        assert (np.diff(rows) > 0).all()
+
+    def test_vertical_column_major(self, grid16):
+        x, y = shuffled(*grid16)
+        order = VerticalOrder().argsort(x, y)
+        xs, ys = x[order], y[order]
+        cols = xs * 16 + ys
+        assert (np.diff(cols) > 0).all()
+
+    def test_orders_are_permutations(self, grid16):
+        x, y = grid16
+        for order_obj in (HorizontalOrder(), VerticalOrder(),
+                          TiledOrder(4), HilbertOrder(4)):
+            perm = order_obj.argsort(x, y)
+            assert sorted(perm.tolist()) == list(range(len(x)))
+
+
+class TestTiled:
+    def test_tiles_visited_contiguously(self, grid16):
+        x, y = shuffled(*grid16)
+        order = TiledOrder(tile_w=4, tile_h=4).argsort(x, y)
+        tiles = (y[order] // 4) * 4 + (x[order] // 4)
+        # Each tile id appears as one contiguous run.
+        changes = np.count_nonzero(np.diff(tiles) != 0)
+        assert changes == 15  # 16 tiles -> 15 transitions
+
+    def test_row_major_within_tile(self, grid16):
+        x, y = shuffled(*grid16)
+        order = TiledOrder(tile_w=8, tile_h=8, within="row").argsort(x, y)
+        xs, ys = x[order], y[order]
+        first_tile = slice(0, 64)
+        rows = ys[first_tile] * 8 + xs[first_tile]
+        assert (np.diff(rows) > 0).all()
+
+    def test_col_major_within_tile(self, grid16):
+        x, y = shuffled(*grid16)
+        order = TiledOrder(tile_w=8, tile_h=8, within="col").argsort(x, y)
+        xs, ys = x[order], y[order]
+        cols = xs[:64] * 8 + ys[:64]
+        assert (np.diff(cols) > 0).all()
+
+    def test_across_column_major(self, grid16):
+        x, y = shuffled(*grid16)
+        order = TiledOrder(tile_w=4, tile_h=4, across="col").argsort(x, y)
+        tile_x = x[order] // 4
+        tile_y = y[order] // 4
+        tile_cols = tile_x * 4 + tile_y
+        assert (np.diff(tile_cols) >= 0).all()
+
+    def test_rectangular_tiles(self, grid16):
+        x, y = grid16
+        order = TiledOrder(tile_w=8, tile_h=2).argsort(x, y)
+        tiles = (y[order] // 2) * 2 + (x[order] // 8)
+        assert np.count_nonzero(np.diff(tiles) != 0) == 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TiledOrder(0)
+        with pytest.raises(ValueError):
+            TiledOrder(8, within="diagonal")
+
+    def test_name(self):
+        assert TiledOrder(8).name == "tiled8x8"
+        assert "col" in TiledOrder(8, within="col", across="col").name
+
+
+class TestHilbert:
+    def test_curve_is_bijective(self):
+        ys, xs = np.mgrid[0:8, 0:8]
+        d = _hilbert_d(3, xs.ravel(), ys.ravel())
+        assert sorted(d.tolist()) == list(range(64))
+
+    def test_curve_is_continuous(self):
+        # Consecutive curve positions are 4-neighbors.
+        ys, xs = np.mgrid[0:16, 0:16]
+        x, y = xs.ravel(), ys.ravel()
+        order = HilbertOrder(4).argsort(x, y)
+        dx = np.abs(np.diff(x[order]))
+        dy = np.abs(np.diff(y[order]))
+        assert ((dx + dy) == 1).all()
+
+    def test_rejects_oversized_screen(self):
+        x = np.array([40])
+        y = np.array([0])
+        with pytest.raises(ValueError):
+            HilbertOrder(5).argsort(x, y)
+        HilbertOrder(6).argsort(x, y)  # fits
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HilbertOrder(0)
+
+
+class TestMakeOrder:
+    def test_dispatch(self):
+        assert isinstance(make_order("horizontal"), HorizontalOrder)
+        assert isinstance(make_order("vertical"), VerticalOrder)
+        assert make_order("tiled", tile_w=16).tile_w == 16
+        assert isinstance(make_order("hilbert"), HilbertOrder)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_order("boustrophedon")

@@ -1,0 +1,220 @@
+"""End-to-end reproduction checks of the paper's qualitative claims.
+
+Each test renders a (small-scale) benchmark scene through the full
+pipeline and checks the *direction* of a published result: who wins,
+where the knees fall, which mechanism removes which misses.  These are
+the repository's ground-truth guardrails; the benchmark harnesses
+regenerate the corresponding tables and figures at larger scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Blocked6DLayout,
+    BlockedLayout,
+    CacheConfig,
+    GobletScene,
+    GuitarScene,
+    HorizontalOrder,
+    NonblockedLayout,
+    PaddedBlockedLayout,
+    TiledOrder,
+    TownScene,
+    TraceStreams,
+    VerticalOrder,
+    cached_bandwidth,
+    classify_misses,
+    miss_rate_curve,
+    place_textures,
+    render_trace,
+    simulate,
+    uncached_bandwidth,
+)
+
+SCALE = 0.2
+
+
+@pytest.fixture(scope="module")
+def town():
+    return TownScene().build(scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def town_traces(town):
+    return {
+        "horizontal": render_trace(town, order=HorizontalOrder()).trace,
+        "vertical": render_trace(town, order=VerticalOrder()).trace,
+    }
+
+
+@pytest.fixture(scope="module")
+def goblet_trace():
+    scene = GobletScene().build(scale=SCALE)
+    return scene, render_trace(scene, order=HorizontalOrder()).trace
+
+
+class TestSection52BaseRepresentation:
+    def test_town_vertical_is_worst_case(self, town, town_traces):
+        """Section 5.2.3: vertical rasterization through Town's upright
+        textures inflates small-cache miss rates under the nonblocked
+        representation."""
+        placements = place_textures(town.get_mipmaps(), NonblockedLayout())
+        rates = {}
+        for order, trace in town_traces.items():
+            addresses = trace.byte_addresses(placements)
+            curve = miss_rate_curve(addresses, 32, [1024, 32768])
+            rates[order] = curve.miss_rates
+        assert rates["vertical"][0] > 2.0 * rates["horizontal"][0]
+        # Large caches converge: the difference is working-set size,
+        # not cold misses.
+        assert rates["vertical"][1] == pytest.approx(rates["horizontal"][1], rel=0.1)
+
+    def test_cold_miss_rates_low(self, town, town_traces):
+        """Section 5.2.2: cold miss rates are low (a 32-byte line holds
+        eight texels and most of each line is used)."""
+        placements = place_textures(town.get_mipmaps(), NonblockedLayout())
+        addresses = town_traces["horizontal"].byte_addresses(placements)
+        curve = miss_rate_curve(addresses, 32, [65536])
+        assert curve.cold_miss_rate < 0.03
+
+    def test_longer_lines_cut_cold_misses(self, town, town_traces):
+        """Section 5.2.2: 128-byte lines reduce cold misses ~3-4x over
+        32-byte lines (substantial spatial locality)."""
+        placements = place_textures(town.get_mipmaps(), BlockedLayout(8))
+        addresses = town_traces["horizontal"].byte_addresses(placements)
+        short = miss_rate_curve(addresses, 32, [65536]).cold_miss_rate
+        long = miss_rate_curve(addresses, 128, [65536]).cold_miss_rate
+        assert long < short / 2.5
+
+    def test_working_set_small_fraction_of_texture(self, town, town_traces):
+        """Section 5.2.3: the first working set is a very small fraction
+        of the texture content used."""
+        placements = place_textures(town.get_mipmaps(), NonblockedLayout())
+        addresses = town_traces["horizontal"].byte_addresses(placements)
+        total_texture = sum(p.total_nbytes for p in placements)
+        curve = miss_rate_curve(addresses, 32, [4096, total_texture])
+        # A 4 KB cache (far below the texture content) is already
+        # within 3x of the cold-miss floor.
+        assert 4096 < total_texture / 10
+        assert curve.miss_rates[0] < 3.0 * curve.miss_rates[-1]
+
+
+class TestSection53BlockedRepresentation:
+    def test_blocking_removes_orientation_dependence(self, town, town_traces):
+        """Section 5.3: the blocked representation shrinks the
+        vertical-rasterization working set."""
+        small_cache = [1024]
+        rates = {}
+        for name, layout in [("nonblocked", NonblockedLayout()),
+                             ("blocked", BlockedLayout(4))]:
+            placements = place_textures(town.get_mipmaps(), layout)
+            addresses = town_traces["vertical"].byte_addresses(placements)
+            rates[name] = miss_rate_curve(addresses, 64, small_cache).miss_rates[0]
+        assert rates["blocked"] < 0.5 * rates["nonblocked"]
+
+    def test_best_block_matches_line_size(self, town, town_traces):
+        """Figure 5.4: the lowest miss rate occurs when the block's
+        memory footprint equals the cache line size."""
+        line_size = 64  # matches a 4x4 block of 4-byte texels
+        cache = [1024]
+        rates = {}
+        for block in (2, 4, 16):
+            placements = place_textures(town.get_mipmaps(), BlockedLayout(block))
+            addresses = town_traces["vertical"].byte_addresses(placements)
+            rates[block] = miss_rate_curve(addresses, line_size, cache).miss_rates[0]
+        assert rates[4] <= rates[2]
+        assert rates[4] <= rates[16]
+
+    def test_two_way_removes_mip_level_conflicts(self, goblet_trace):
+        """Figure 5.7(a): for Goblet (small triangles), direct-mapped
+        caches suffer conflicts between adjacent Mip levels; two-way
+        set-associative caches match fully-associative miss rates."""
+        scene, trace = goblet_trace
+        placements = place_textures(scene.get_mipmaps(), BlockedLayout(8))
+        streams = TraceStreams(trace.byte_addresses(placements))
+        size = 2048
+        direct = simulate(streams.stream(128), CacheConfig(size, 128, 1))
+        two_way = simulate(streams.stream(128), CacheConfig(size, 128, 2))
+        full = simulate(streams.stream(128), CacheConfig(size, 128, None))
+        assert direct.miss_rate > 1.5 * two_way.miss_rate
+        assert two_way.miss_rate == pytest.approx(full.miss_rate, rel=0.35)
+
+    def test_town_vertical_conflicts_survive_two_way(self, town, town_traces):
+        """Figure 5.7(b): Town-vertical has same-level block conflicts
+        that two-way associativity cannot remove (gap to fully
+        associative remains)."""
+        placements = place_textures(town.get_mipmaps(), BlockedLayout(8))
+        streams = TraceStreams(town_traces["vertical"].byte_addresses(placements))
+        size = 4096
+        two_way = classify_misses(streams.stream(128), CacheConfig(size, 128, 2))
+        assert two_way.conflict_misses > 0
+
+
+class TestSection6Tiling:
+    @pytest.fixture(scope="class")
+    def guitar(self):
+        return GuitarScene().build(scale=SCALE)
+
+    def test_medium_tiles_shrink_working_set(self, guitar):
+        """Figure 6.2: medium tiles cut capacity misses at cache sizes
+        that previously did not fit the working set; huge tiles revert
+        to nontiled behaviour."""
+        placements = place_textures(guitar.get_mipmaps(), BlockedLayout(8))
+        cache = [1024]
+        rates = {}
+        for name, order in [("nontiled", HorizontalOrder()),
+                            ("medium", TiledOrder(8)),
+                            ("huge", TiledOrder(256))]:
+            trace = render_trace(guitar, order=order).trace
+            addresses = trace.byte_addresses(placements)
+            rates[name] = miss_rate_curve(addresses, 128, cache).miss_rates[0]
+        assert rates["medium"] < 0.75 * rates["nontiled"]
+        assert rates["huge"] == pytest.approx(rates["nontiled"], rel=0.35)
+
+    def test_goblet_insensitive_to_tiles(self, goblet_trace):
+        """Section 6.1: with small triangles (Goblet), tiling does not
+        hurt -- the working set is unaffected by tile dimensions."""
+        scene, _ = goblet_trace
+        placements = place_textures(scene.get_mipmaps(), BlockedLayout(8))
+        rates = []
+        for order in (HorizontalOrder(), TiledOrder(8), TiledOrder(32)):
+            trace = render_trace(scene, order=order).trace
+            addresses = trace.byte_addresses(placements)
+            rates.append(miss_rate_curve(addresses, 128, [2048]).miss_rates[0])
+        assert max(rates) < 1.25 * min(rates)
+
+    def test_padding_reduces_block_column_conflicts(self):
+        """Figure 6.4(b): with large textures (Flight), tiling alone is
+        not sufficient; padding (or 6D blocking) removes conflicts
+        between same-column neighbor blocks."""
+        from repro import FlightScene
+        scene = FlightScene().build(scale=SCALE)
+        trace = render_trace(scene, order=TiledOrder(8)).trace
+        results = {}
+        for name, layout in [
+            ("blocked", BlockedLayout(8)),
+            ("padded", PaddedBlockedLayout(8, pad_blocks=4)),
+            ("6d", Blocked6DLayout(8, superblock_nbytes=4096)),
+        ]:
+            placements = place_textures(scene.get_mipmaps(), layout)
+            streams = TraceStreams(trace.byte_addresses(placements))
+            stats = classify_misses(streams.stream(128),
+                                    CacheConfig(4096, 128, 2))
+            results[name] = stats
+        assert results["padded"].conflict_misses < results["blocked"].conflict_misses
+        assert results["6d"].conflict_misses < results["blocked"].conflict_misses
+
+
+class TestSection7Bandwidth:
+    def test_cache_reduces_bandwidth_at_least_threefold(self, town, town_traces):
+        """Section 7.2: a working-set-sized cache cuts texture memory
+        bandwidth by 3-15x versus the uncached 1.5 GB/s system."""
+        placements = place_textures(
+            town.get_mipmaps(), PaddedBlockedLayout(8, pad_blocks=4))
+        trace = render_trace(town, order=TiledOrder(8)).trace
+        addresses = trace.byte_addresses(placements)
+        # A cache that holds the (scaled) working set: 32 KB x scale.
+        stats = simulate(addresses, CacheConfig(8192, 64, 2))
+        cached = cached_bandwidth(stats.miss_rate, 64)
+        assert uncached_bandwidth() / cached > 3.0

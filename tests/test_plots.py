@@ -1,0 +1,79 @@
+"""Tests for the terminal chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plots import ascii_chart, miss_rate_chart
+from repro.core.stackdist import MissRateCurve
+
+
+class TestAsciiChart:
+    def test_basic_structure(self):
+        chart = ascii_chart({"a": ([1, 2, 4], [10, 5, 1])}, width=32, height=8,
+                            title="T")
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert any("o a" in line for line in lines)  # legend
+        assert sum("|" in line for line in lines) == 8
+
+    def test_extremes_plotted(self):
+        chart = ascii_chart({"a": ([1, 100], [1, 100])}, width=32, height=8,
+                            log_x=False, log_y=False)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        assert rows[0].rstrip().endswith("o")       # max lands top-right
+        body = rows[-1].split("|", 1)[1]
+        assert body[0] == "o"                        # min lands bottom-left
+
+    def test_multiple_series_glyphs(self):
+        chart = ascii_chart({
+            "first": ([1, 2], [1, 2]),
+            "second": ([1, 2], [2, 1]),
+        }, width=24, height=6, log_x=False, log_y=False)
+        assert "o first" in chart
+        assert "x second" in chart
+        assert "x" in chart.split("x second")[0]
+
+    def test_monotone_series_descends(self):
+        chart = ascii_chart({"a": ([1, 2, 4, 8], [8, 4, 2, 1])},
+                            width=32, height=8)
+        rows = [line.split("|", 1)[1] for line in chart.splitlines()
+                if "|" in line]
+        first_cols = [row.index("o") for row in rows if "o" in row]
+        assert first_cols == sorted(first_cols)
+
+    def test_axis_labels(self):
+        chart = ascii_chart({"a": ([1, 2], [1, 2])}, x_label="size",
+                            y_label="miss")
+        assert "(size)" in chart
+        assert "miss" in chart
+
+    def test_constant_series_safe(self):
+        chart = ascii_chart({"a": ([1, 2, 3], [5, 5, 5])},
+                            log_x=False, log_y=False)
+        assert "o" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": ([1, 2], [1])})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": ([], [])})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": ([1], [1])}, width=4)
+
+
+class TestMissRateChart:
+    def test_renders_curves(self):
+        curve = MissRateCurve(
+            line_size=32,
+            sizes=np.array([1024, 4096, 16384]),
+            miss_rates=np.array([0.2, 0.05, 0.01]),
+            cold_miss_rate=0.01,
+            total_accesses=1000,
+        )
+        chart = miss_rate_chart({"town": curve}, title="fig")
+        assert "fig" in chart
+        assert "miss %" in chart
+        assert "o town" in chart
+        assert "1K" in chart  # byte ticks render in K

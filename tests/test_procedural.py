@@ -1,0 +1,79 @@
+"""Unit tests for repro.texture.procedural."""
+
+import numpy as np
+import pytest
+
+from repro.texture.procedural import (
+    brick,
+    checkerboard,
+    fractal_noise,
+    gradient,
+    make_texture,
+    marble,
+    satellite,
+    wood,
+)
+
+
+class TestFractalNoise:
+    def test_range(self):
+        noise = fractal_noise(32, 16, seed=1)
+        assert noise.shape == (16, 32)
+        assert noise.min() >= 0.0
+        assert noise.max() <= 1.0
+
+    def test_deterministic(self):
+        a = fractal_noise(16, 16, seed=7)
+        b = fractal_noise(16, 16, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_output(self):
+        a = fractal_noise(16, 16, seed=1)
+        b = fractal_noise(16, 16, seed=2)
+        assert not np.array_equal(a, b)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("generator", [satellite, brick, wood, marble])
+    def test_shape_and_dtype(self, generator):
+        image = generator(32, 16, seed=0)
+        assert image.texels.shape == (16, 32, 4)
+        assert image.texels.dtype == np.uint8
+
+    @pytest.mark.parametrize("generator", [satellite, brick, wood, marble])
+    def test_deterministic(self, generator):
+        a = generator(16, 16, seed=3)
+        b = generator(16, 16, seed=3)
+        assert np.array_equal(a.texels, b.texels)
+
+    def test_checkerboard_pattern(self):
+        image = checkerboard(8, 8, squares=2, color_a=(255, 255, 255),
+                             color_b=(0, 0, 0))
+        # Top-left square is color_a, adjacent square color_b.
+        assert (image.texels[0, 0, :3] == 255).all()
+        assert (image.texels[0, 4, :3] == 0).all()
+        assert (image.texels[4, 0, :3] == 0).all()
+        assert (image.texels[4, 4, :3] == 255).all()
+
+    def test_gradient_orientation(self):
+        image = gradient(16, 16)
+        assert image.texels[0, 0, 0] < image.texels[0, 15, 0]
+        assert image.texels[0, 0, 1] < image.texels[15, 0, 1]
+
+    def test_make_texture_dispatch(self):
+        image = make_texture("wood", 16, 16, seed=1)
+        assert image.width == 16
+
+    def test_make_texture_unknown(self):
+        with pytest.raises(ValueError):
+            make_texture("granite", 16, 16)
+
+    def test_make_texture_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            make_texture("wood", 15, 16)
+
+    def test_brick_has_mortar_lines(self):
+        image = brick(64, 64, seed=0)
+        # Mortar rows are brighter than brick interior on average.
+        row_means = image.texels[..., 0].astype(float).mean(axis=1)
+        assert row_means.max() - row_means.min() > 20

@@ -1,0 +1,198 @@
+"""Property-based tests (hypothesis) on the core data structures and
+invariants: LRU caching, stack distances, layouts and traversal
+orders."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import (
+    CacheConfig,
+    LineStream,
+    LRUCache,
+    collapse_consecutive,
+    simulate,
+)
+from repro.core.classify import classify_misses
+from repro.core.stackdist import COLD, DistanceProfile, stack_distances
+from repro.raster.order import HilbertOrder, HorizontalOrder, TiledOrder, VerticalOrder
+from repro.texture.layout import (
+    Blocked6DLayout,
+    BlockedLayout,
+    NonblockedLayout,
+    PaddedBlockedLayout,
+)
+
+lines_strategy = st.lists(st.integers(min_value=0, max_value=63),
+                          min_size=1, max_size=300)
+
+pow2 = st.sampled_from([1, 2, 4, 8, 16])
+
+
+@st.composite
+def cache_configs(draw):
+    line_size = draw(st.sampled_from([16, 32, 64, 128]))
+    n_lines = draw(st.sampled_from([4, 8, 16, 32]))
+    assoc = draw(st.sampled_from([1, 2, 4, None]))
+    return CacheConfig(size=line_size * n_lines, line_size=line_size, assoc=assoc)
+
+
+class TestCacheProperties:
+    @given(lines=lines_strategy, config=cache_configs())
+    @settings(max_examples=60, deadline=None)
+    def test_simulate_matches_reference(self, lines, config):
+        addresses = np.asarray(lines, dtype=np.int64) * config.line_size
+        fast = simulate(addresses, config)
+        reference = LRUCache(config)
+        for line in lines:
+            reference.access(line)
+        assert fast.misses == reference.misses
+        assert fast.cold_misses == reference.cold_misses
+
+    @given(lines=lines_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_collapse_preserves_length_accounting(self, lines):
+        array = np.asarray(lines, dtype=np.int64)
+        runs, dup = collapse_consecutive(array)
+        assert len(runs) + dup == len(array)
+        # No two consecutive runs are equal.
+        assert (np.diff(runs) != 0).all()
+
+    @given(lines=lines_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_collapsing_is_exact_for_lru(self, lines):
+        # Simulating with duplicates inline equals simulate()'s
+        # collapsed path (duplicates credited as hits).
+        config = CacheConfig(size=256, line_size=32, assoc=2)
+        addresses = np.asarray(lines, dtype=np.int64) * 32
+        collapsed_stats = simulate(addresses, config)
+        reference = LRUCache(config)
+        hits = sum(reference.access(line) for line in lines)
+        assert collapsed_stats.hits == hits
+
+    @given(lines=lines_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_miss_rate_antitone_in_size_fully_associative(self, lines):
+        addresses = np.asarray(lines, dtype=np.int64) * 32
+        previous = None
+        for n_lines in (2, 4, 8, 16, 32, 64):
+            stats = simulate(addresses, CacheConfig(size=n_lines * 32, line_size=32))
+            if previous is not None:
+                assert stats.misses <= previous
+            previous = stats.misses
+
+    @given(lines=lines_strategy, config=cache_configs())
+    @settings(max_examples=60, deadline=None)
+    def test_classification_partitions_misses(self, lines, config):
+        addresses = np.asarray(lines, dtype=np.int64) * config.line_size
+        stats = classify_misses(addresses, config)
+        assert stats.cold_misses + stats.capacity_misses + stats.conflict_misses \
+            == stats.misses
+        assert stats.cold_misses == len(set(lines))
+
+
+class TestStackDistanceProperties:
+    @given(lines=lines_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_distances_match_fully_associative_simulation(self, lines):
+        array = np.asarray(lines, dtype=np.int64)
+        runs, dup = collapse_consecutive(array)
+        stream = LineStream(line_size=32, run_lines=runs,
+                            total_accesses=len(array))
+        profile = DistanceProfile.from_stream(stream)
+        for n_lines in (1, 2, 4, 8, 32):
+            config = CacheConfig(size=n_lines * 32, line_size=32)
+            stats = simulate(array * 32, config)
+            assert profile.misses_at(n_lines) == stats.misses
+
+    @given(lines=lines_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_cold_count_is_distinct_lines(self, lines):
+        distances = stack_distances(np.asarray(lines, dtype=np.int64))
+        assert int((distances == COLD).sum()) == len(set(lines))
+
+    @given(lines=lines_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_distance_bounded_by_alphabet(self, lines):
+        distances = stack_distances(np.asarray(lines, dtype=np.int64))
+        finite = distances[distances != COLD]
+        if len(finite):
+            assert finite.min() >= 1
+            assert finite.max() <= len(set(lines))
+
+
+coords = st.lists(
+    st.tuples(st.integers(0, 63), st.integers(0, 63)),
+    min_size=1, max_size=64, unique=True,
+)
+
+
+class TestLayoutProperties:
+    @given(points=coords, block=pow2)
+    @settings(max_examples=40, deadline=None)
+    def test_blocked_injective(self, points, block):
+        layout = BlockedLayout(block_w=block)
+        plan = layout.place_texture([(64, 64)])
+        tu = np.array([p[0] for p in points])
+        tv = np.array([p[1] for p in points])
+        addresses = layout.addresses(plan.levels[0], tu, tv)
+        assert len(set(addresses.tolist())) == len(points)
+        assert addresses.min() >= 0
+        assert addresses.max() < plan.total_nbytes
+
+    @given(points=coords, block=pow2, pad=st.sampled_from([1, 2, 4]))
+    @settings(max_examples=40, deadline=None)
+    def test_padded_injective_and_bounded(self, points, block, pad):
+        layout = PaddedBlockedLayout(block_w=block, pad_blocks=pad)
+        plan = layout.place_texture([(64, 64)])
+        tu = np.array([p[0] for p in points])
+        tv = np.array([p[1] for p in points])
+        addresses = layout.addresses(plan.levels[0], tu, tv)
+        assert len(set(addresses.tolist())) == len(points)
+        assert addresses.max() < plan.total_nbytes
+
+    @given(points=coords, block=st.sampled_from([2, 4, 8]))
+    @settings(max_examples=40, deadline=None)
+    def test_blocked6d_injective_and_bounded(self, points, block):
+        layout = Blocked6DLayout(block_w=block, superblock_nbytes=4096)
+        plan = layout.place_texture([(64, 64)])
+        tu = np.array([p[0] for p in points])
+        tv = np.array([p[1] for p in points])
+        addresses = layout.addresses(plan.levels[0], tu, tv)
+        assert len(set(addresses.tolist())) == len(points)
+        assert addresses.max() < plan.total_nbytes
+
+    @given(points=coords)
+    @settings(max_examples=40, deadline=None)
+    def test_layouts_agree_on_texel_count(self, points):
+        # Different layouts permute texels; they never merge them.
+        tu = np.array([p[0] for p in points])
+        tv = np.array([p[1] for p in points])
+        counts = set()
+        for layout in (NonblockedLayout(), BlockedLayout(8),
+                       PaddedBlockedLayout(8)):
+            plan = layout.place_texture([(64, 64)])
+            addresses = layout.addresses(plan.levels[0], tu, tv)
+            counts.add(len(set(addresses.tolist())))
+        assert counts == {len(points)}
+
+
+class TestOrderProperties:
+    @given(points=coords)
+    @settings(max_examples=40, deadline=None)
+    def test_orders_are_permutations(self, points):
+        x = np.array([p[0] for p in points])
+        y = np.array([p[1] for p in points])
+        for order in (HorizontalOrder(), VerticalOrder(), TiledOrder(8),
+                      HilbertOrder(6)):
+            perm = order.argsort(x, y)
+            assert sorted(perm.tolist()) == list(range(len(points)))
+
+    @given(points=coords)
+    @settings(max_examples=40, deadline=None)
+    def test_horizontal_is_lexicographic(self, points):
+        x = np.array([p[0] for p in points])
+        y = np.array([p[1] for p in points])
+        perm = HorizontalOrder().argsort(x, y)
+        keys = list(zip(y[perm].tolist(), x[perm].tolist()))
+        assert keys == sorted(keys)

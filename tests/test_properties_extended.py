@@ -1,0 +1,118 @@
+"""Additional property-based tests (hypothesis): filtering footprints,
+VQ layout, anisotropic probes, warm-cache sequences and victim caches."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import CacheConfig, simulate, simulate_sequence
+from repro.core.victim import simulate_victim
+from repro.texture.compression import VQCompressedLayout
+from repro.texture.filtering import generate_accesses, generate_accesses_aniso
+
+unit = st.floats(min_value=0.0, max_value=0.999, allow_nan=False)
+lods = st.floats(min_value=-3.0, max_value=8.0, allow_nan=False)
+lines = st.lists(st.integers(0, 63), min_size=1, max_size=200)
+
+
+class TestFilteringProperties:
+    @given(u=unit, v=unit, lod=lods)
+    @settings(max_examples=120, deadline=None)
+    def test_footprint_shape(self, u, v, lod):
+        accesses = generate_accesses(np.array([u]), np.array([v]),
+                                     np.array([lod]), 7, 64, 64)
+        # 8 accesses (trilinear) or 4 (bilinear); coordinates in range.
+        assert accesses.n_accesses in (4, 8)
+        assert accesses.tu.min() >= 0
+        for index in range(accesses.n_accesses):
+            width = max(64 >> int(accesses.level[index]), 1)
+            assert accesses.tu[index] < width
+            assert accesses.tv[index] < width
+
+    @given(u=unit, v=unit, lod=lods)
+    @settings(max_examples=80, deadline=None)
+    def test_footprint_is_2x2_per_level(self, u, v, lod):
+        accesses = generate_accesses(np.array([u]), np.array([v]),
+                                     np.array([lod]), 7, 64, 64)
+        for level in np.unique(accesses.level):
+            mask = accesses.level == level
+            assert len(set(accesses.tu_raw[mask].tolist())) <= 2
+            assert len(set(accesses.tv_raw[mask].tolist())) <= 2
+
+    @given(u=unit, v=unit,
+           dudx=st.floats(0.1, 32.0), dvdy=st.floats(0.1, 32.0))
+    @settings(max_examples=80, deadline=None)
+    def test_aniso_probe_count_bounds(self, u, v, dudx, dvdy):
+        accesses = generate_accesses_aniso(
+            np.array([u]), np.array([v]),
+            np.array([dudx]), np.array([0.0]),
+            np.array([0.0]), np.array([dvdy]),
+            7, 64, 64, max_aniso=4,
+        )
+        # Between one bilinear quad and 4 trilinear probes.
+        assert 4 <= accesses.n_accesses <= 4 * 8
+        assert (accesses.fragment_index == 0).all()
+
+
+class TestVQLayoutProperties:
+    @given(points=st.lists(st.tuples(st.integers(0, 63), st.integers(0, 63)),
+                           min_size=1, max_size=64, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_vq_block_sharing(self, points):
+        layout = VQCompressedLayout(index_block_w=4)
+        plan = layout.place_texture([(64, 64)])
+        tu = np.array([p[0] for p in points])
+        tv = np.array([p[1] for p in points])
+        addresses = layout.addresses(plan.levels[0], tu, tv)
+        # Texels in the same 2x2 block share an address; distinct
+        # blocks get distinct addresses.
+        blocks = set(zip((tu >> 1).tolist(), (tv >> 1).tolist()))
+        assert len(set(addresses.tolist())) == len(blocks)
+        assert addresses.max() < plan.total_nbytes
+
+
+class TestSequenceProperties:
+    @given(first=lines, second=lines)
+    @settings(max_examples=60, deadline=None)
+    def test_sequence_totals_match_concatenation(self, first, second):
+        config = CacheConfig(256, 32, 2)
+        a = np.asarray(first, dtype=np.int64) * 32
+        b = np.asarray(second, dtype=np.int64) * 32
+        segments = simulate_sequence([a, b], config)
+        whole = simulate(np.concatenate([a, b]), config)
+        assert segments[0].misses + segments[1].misses == whole.misses
+        assert segments[0].accesses + segments[1].accesses == whole.accesses
+        assert segments[0].cold_misses + segments[1].cold_misses == whole.cold_misses
+
+    @given(stream=lines)
+    @settings(max_examples=60, deadline=None)
+    def test_warm_repeat_never_worse(self, stream):
+        config = CacheConfig(512, 32)
+        addresses = np.asarray(stream, dtype=np.int64) * 32
+        warm = simulate_sequence([addresses, addresses], config)
+        cold = simulate(addresses, config)
+        assert warm[1].misses <= cold.misses
+
+
+class TestVictimProperties:
+    @given(stream=lines, victims=st.sampled_from([0, 1, 2, 4]))
+    @settings(max_examples=60, deadline=None)
+    def test_victim_never_increases_misses(self, stream, victims):
+        config = CacheConfig(256, 32, 1)
+        addresses = np.asarray(stream, dtype=np.int64) * 32
+        with_victims = simulate_victim(addresses, config, victims)
+        plain = simulate(addresses, config)
+        assert with_victims.misses <= plain.misses
+        # Accounting: hits + victim hits + misses = accesses.
+        total = (with_victims.misses + with_victims.victim_hits)
+        assert total <= with_victims.accesses
+
+    @given(stream=lines)
+    @settings(max_examples=40, deadline=None)
+    def test_huge_victim_buffer_approaches_full_associativity(self, stream):
+        config = CacheConfig(256, 32, 1)
+        addresses = np.asarray(stream, dtype=np.int64) * 32
+        buffered = simulate_victim(addresses, config, victim_lines=64)
+        # Main (8 lines) + 64 victims hold all 64 possible lines: only
+        # cold misses remain.
+        assert buffered.misses == buffered.cold_misses

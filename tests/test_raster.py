@@ -1,0 +1,135 @@
+"""Unit tests for the triangle rasterizer (repro.raster.triangle)."""
+
+import numpy as np
+import pytest
+
+from repro.raster.triangle import rasterize_triangle
+
+
+def raster(screen, width=64, height=64, inv_w=None, uv=None, z=None,
+           texture_size=(64, 64), colors=None):
+    screen = np.asarray(screen, dtype=float)
+    if inv_w is None:
+        inv_w = np.ones(3)
+    if uv is None:
+        uv = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+    if z is None:
+        z = np.zeros(3)
+    return rasterize_triangle(screen, np.asarray(z, float), np.asarray(inv_w, float),
+                              np.asarray(uv, float), texture_size, width, height,
+                              colors=colors)
+
+
+class TestCoverage:
+    def test_axis_aligned_right_triangle(self):
+        batch = raster([[0, 0], [8, 0], [0, 8]])
+        # Pixel centers strictly inside the triangle: (x+0.5) + (y+0.5) < 8.
+        expected = sum(1 for x in range(8) for y in range(8) if x + y + 1 < 8)
+        assert batch.n_fragments == expected
+
+    def test_winding_independent(self):
+        ccw = raster([[0, 0], [8, 0], [0, 8]])
+        cw = raster([[0, 0], [0, 8], [8, 0]])
+        assert ccw.n_fragments == cw.n_fragments
+        assert set(zip(ccw.x.tolist(), ccw.y.tolist())) == \
+               set(zip(cw.x.tolist(), cw.y.tolist()))
+
+    def test_shared_edge_no_overlap_no_hole(self):
+        # A quad split along the diagonal: every covered pixel exactly once.
+        corners = [[2.3, 1.7], [50.2, 3.1], [48.9, 55.5], [1.2, 52.8]]
+        t1 = raster([corners[0], corners[1], corners[2]])
+        t2 = raster([corners[0], corners[2], corners[3]])
+        pixels1 = set(zip(t1.x.tolist(), t1.y.tolist()))
+        pixels2 = set(zip(t2.x.tolist(), t2.y.tolist()))
+        assert not pixels1 & pixels2
+        # The union matches rasterizing with reversed diagonal too.
+        t3 = raster([corners[0], corners[1], corners[3]])
+        t4 = raster([corners[1], corners[2], corners[3]])
+        pixels_other = set(zip(t3.x.tolist(), t3.y.tolist())) | \
+            set(zip(t4.x.tolist(), t4.y.tolist()))
+        assert (pixels1 | pixels2) == pixels_other
+
+    def test_degenerate_returns_none(self):
+        assert raster([[0, 0], [8, 8], [16, 16]]) is None
+
+    def test_offscreen_returns_none(self):
+        assert raster([[-20, -20], [-10, -20], [-20, -10]]) is None
+
+    def test_scissor_clamps_to_screen(self):
+        batch = raster([[-10, -10], [100, -10], [-10, 100]], width=32, height=32)
+        assert batch.x.min() >= 0
+        assert batch.y.min() >= 0
+        assert batch.x.max() <= 31
+        assert batch.y.max() <= 31
+
+
+class TestInterpolation:
+    def test_affine_uv_interpolation(self):
+        batch = raster([[0, 0], [64, 0], [0, 64]])
+        # With unit inv_w, u must equal x/64 at pixel centers.
+        assert np.allclose(batch.u, (batch.x + 0.5) / 64.0, atol=1e-12)
+        assert np.allclose(batch.v, (batch.y + 0.5) / 64.0, atol=1e-12)
+
+    def test_perspective_correct_uv(self):
+        # Vertex 1 twice as far (w=2 -> inv_w=0.5): at the screen-space
+        # midpoint of the edge, u is NOT 0.5 but 1/3 (projective).
+        batch = raster(
+            [[0, 0], [64, 0], [0, 64]],
+            inv_w=[1.0, 0.5, 1.0],
+            uv=np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]]),
+        )
+        row0 = batch.y == 0
+        xs = batch.x[row0]
+        us = batch.u[row0]
+        mid = np.argmin(np.abs(xs - 32))
+        expected = (32.5 / 64 * 0.5) / (1.0 - 32.5 / 64 * 0.5)
+        assert us[mid] == pytest.approx(expected, abs=0.01)
+
+    def test_depth_linear_in_screen_space(self):
+        batch = raster([[0, 0], [64, 0], [0, 64]], z=[0.0, 1.0, 0.0])
+        assert np.allclose(batch.z, (batch.x + 0.5) / 64.0, atol=1e-12)
+
+    def test_color_interpolation(self):
+        colors = np.array([[1.0, 0, 0], [0, 1.0, 0], [0, 0, 1.0]])
+        batch = raster([[0, 0], [64, 0], [0, 64]], colors=colors)
+        assert batch.color is not None
+        assert np.allclose(batch.color.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_no_color_when_absent(self):
+        assert raster([[0, 0], [8, 0], [0, 8]]).color is None
+
+
+class TestLevelOfDetail:
+    def test_screen_aligned_unit_mapping(self):
+        # 64-texel texture across 64 pixels: one texel per pixel -> lod 0.
+        batch = raster([[0, 0], [64, 0], [0, 64]], texture_size=(64, 64))
+        assert np.allclose(batch.lod, 0.0, atol=1e-9)
+
+    def test_minification_positive_lod(self):
+        # 128 texels across 64 pixels: lod = 1.
+        batch = raster([[0, 0], [64, 0], [0, 64]], texture_size=(128, 128))
+        assert np.allclose(batch.lod, 1.0, atol=1e-9)
+
+    def test_magnification_negative_lod(self):
+        batch = raster([[0, 0], [64, 0], [0, 64]], texture_size=(16, 16))
+        assert np.allclose(batch.lod, -2.0, atol=1e-9)
+
+    def test_anisotropy_takes_max(self):
+        # u spans 2 texture copies, v spans one half: rho_x dominates.
+        uv = np.array([[0.0, 0.0], [2.0, 0.0], [0.0, 0.5]])
+        batch = raster([[0, 0], [64, 0], [0, 64]], uv=uv, texture_size=(64, 64))
+        assert np.allclose(batch.lod, 1.0, atol=1e-9)
+
+    def test_perspective_lod_varies(self):
+        batch = raster([[0, 0], [64, 0], [0, 64]], inv_w=[1.0, 0.2, 1.0])
+        assert batch.lod.max() - batch.lod.min() > 0.5
+
+
+class TestReordered:
+    def test_permutation_applies_to_all_fields(self):
+        batch = raster([[0, 0], [8, 0], [0, 8]])
+        order = np.argsort(-batch.x, kind="stable")
+        flipped = batch.reordered(order)
+        assert flipped.x.tolist() == batch.x[order].tolist()
+        assert flipped.u.tolist() == batch.u[order].tolist()
+        assert flipped.n_fragments == batch.n_fragments

@@ -1,0 +1,95 @@
+"""Structural image checks for the benchmark scenes.
+
+These are loose "does the picture look like the scene" guards --
+dominant palettes, object placement -- not pixel-exact goldens, so they
+survive numerical noise while catching gross regressions (flipped
+textures, broken z-buffer, wrong cameras).
+"""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.renderer import Renderer
+from repro.scenes import FlightScene, GobletScene, GuitarScene, TownScene
+
+SCALE = 0.15
+
+
+@pytest.fixture(scope="module")
+def frames():
+    out = {}
+    for cls in (GobletScene, GuitarScene, TownScene, FlightScene):
+        scene = cls().build(scale=SCALE)
+        out[scene.name] = Renderer(produce_image=True).render(scene)
+    return out
+
+
+def region(frame, y0, y1, x0, x1):
+    pixels = frame.framebuffer.pixels
+    height, width = pixels.shape[:2]
+    return pixels[int(y0 * height):int(y1 * height),
+                  int(x0 * width):int(x1 * width)].astype(float)
+
+
+class TestGobletImage:
+    def test_marble_goblet_centered(self, frames):
+        center = region(frames["goblet"], 0.35, 0.65, 0.4, 0.6)
+        # Marble is bright and near-grey.
+        assert center.mean() > 110
+        assert abs(center[..., 0].mean() - center[..., 2].mean()) < 25
+
+    def test_dark_background_corners(self, frames):
+        corner = region(frames["goblet"], 0.0, 0.1, 0.0, 0.1)
+        assert corner.mean() < 80
+
+
+class TestGuitarImage:
+    def test_wood_table_edges(self, frames):
+        edge = region(frames["guitar"], 0.0, 0.08, 0.0, 0.08)
+        # Wood: red clearly above blue.
+        assert edge[..., 0].mean() > edge[..., 2].mean() + 40
+
+    def test_frame_fully_covered(self, frames):
+        pixels = frames["guitar"].framebuffer.pixels.astype(float)
+        background = np.array([30, 30, 40], dtype=float)
+        distance = np.abs(pixels - background).sum(axis=2)
+        assert (distance < 10).mean() < 0.02  # almost no background
+
+
+class TestTownImage:
+    def test_sky_on_top(self, frames):
+        sky = region(frames["town"], 0.0, 0.05, 0.45, 0.55)
+        assert sky.mean() < 80
+
+    def test_road_at_bottom_grey(self, frames):
+        road = region(frames["town"], 0.9, 1.0, 0.4, 0.6)
+        spread = road.mean(axis=(0, 1)).max() - road.mean(axis=(0, 1)).min()
+        assert spread < 20  # grey: channels close together
+
+    def test_facades_brick_toned(self, frames):
+        facade = region(frames["town"], 0.3, 0.5, 0.05, 0.25)
+        assert facade[..., 0].mean() > facade[..., 2].mean()
+
+
+class TestFlightImage:
+    def test_terrain_fills_lower_half(self, frames):
+        terrain = region(frames["flight"], 0.6, 1.0, 0.2, 0.8)
+        background = np.array([30, 30, 40], dtype=float)
+        distance = np.abs(terrain - background).sum(axis=2)
+        assert (distance > 30).mean() > 0.95
+
+    def test_vegetation_green_dominant(self, frames):
+        terrain = region(frames["flight"], 0.7, 1.0, 0.3, 0.7)
+        assert terrain[..., 1].mean() > terrain[..., 2].mean()
+
+    def test_sky_above_horizon(self, frames):
+        sky = region(frames["flight"], 0.0, 0.05, 0.3, 0.7)
+        assert sky.mean() < 80
+
+
+class TestDeterminism:
+    def test_identical_rerenders(self, frames):
+        scene = GobletScene().build(scale=SCALE)
+        again = Renderer(produce_image=True).render(scene)
+        assert again.framebuffer.checksum() == \
+            frames["goblet"].framebuffer.checksum()

@@ -1,0 +1,128 @@
+"""Tests for the benchmark scenes (repro.scenes)."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.renderer import render_trace
+from repro.scenes import (
+    ALL_SCENES,
+    FlightScene,
+    GobletScene,
+    GuitarScene,
+    TownScene,
+    make_scene,
+)
+from repro.scenes.base import scaled_count, scaled_pow2
+from repro.scenes.stats import characterize, distinct_texels, texture_used_nbytes
+
+SCALE = 0.125
+
+
+@pytest.fixture(scope="module")
+def built():
+    scenes = {}
+    for name, cls in ALL_SCENES.items():
+        scene = cls().build(scale=SCALE)
+        scenes[name] = (scene, render_trace(scene))
+    return scenes
+
+
+class TestScaleHelpers:
+    def test_scaled_pow2(self):
+        assert scaled_pow2(512, 1.0) == 512
+        assert scaled_pow2(512, 0.5) == 256
+        assert scaled_pow2(512, 0.25) == 128
+        assert scaled_pow2(16, 0.1, minimum=8) == 8
+
+    def test_scaled_pow2_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            scaled_pow2(100, 0.5)
+
+    def test_scaled_count(self):
+        assert scaled_count(60, 0.5) == 30
+        assert scaled_count(3, 0.01, minimum=2) == 2
+
+
+class TestRegistry:
+    def test_make_scene(self):
+        assert isinstance(make_scene("goblet"), GobletScene)
+        assert isinstance(make_scene("flight", seed=9), FlightScene)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_scene("teapot")
+
+    def test_paper_rasterization_directions(self):
+        # Section 5.2.3: worst-case vertical for Town, horizontal else.
+        assert TownScene.paper_rasterization == "vertical"
+        assert FlightScene.paper_rasterization == "horizontal"
+        assert GuitarScene.paper_rasterization == "horizontal"
+        assert GobletScene.paper_rasterization == "horizontal"
+
+
+class TestSceneConstruction:
+    def test_all_scenes_render(self, built):
+        for name, (scene, result) in built.items():
+            assert result.n_fragments > 500, name
+            assert result.n_accesses > 2000, name
+
+    def test_texture_counts_match_paper(self, built):
+        expected = {"flight": 15, "town": 51, "guitar": 8, "goblet": 1}
+        for name, (scene, _) in built.items():
+            assert scene.n_textures == expected[name]
+
+    def test_frame_aspect_ratios(self, built):
+        for name, (scene, _) in built.items():
+            cls = ALL_SCENES[name]
+            paper_aspect = cls.paper_width / cls.paper_height
+            assert scene.width / scene.height == pytest.approx(paper_aspect, rel=0.15)
+
+    def test_goblet_has_smallest_triangles(self, built):
+        areas = {}
+        for name, (scene, result) in built.items():
+            areas[name] = result.n_fragments / max(result.n_triangles_rasterized, 1)
+        assert areas["goblet"] < areas["town"]
+        assert areas["goblet"] < areas["guitar"]
+        assert areas["flight"] < areas["guitar"]
+
+    def test_deterministic(self):
+        a = GobletScene().build(scale=SCALE)
+        b = GobletScene().build(scale=SCALE)
+        assert np.array_equal(a.mesh.positions, b.mesh.positions)
+        assert np.array_equal(a.textures[0].texels, b.textures[0].texels)
+
+    def test_flight_uses_every_texture(self, built):
+        scene, result = built["flight"]
+        assert len(np.unique(result.trace.texture_id)) >= 10
+
+    def test_flight_lod_variation(self, built):
+        # "Large variations in level-of-detail" -- many levels touched.
+        _, result = built["flight"]
+        assert len(np.unique(result.trace.level)) >= 5
+
+
+class TestCharacterize:
+    def test_table_4_1_shape(self, built):
+        scene, result = built["goblet"]
+        row = characterize(scene, result)
+        assert row.name == "goblet"
+        assert row.n_textures == 1
+        assert 0.0 < row.texture_used_fraction <= 1.0
+        assert row.pixels_textured_millions > 0
+        assert len(row.row()) == 11
+
+    def test_used_less_than_storage(self, built):
+        for name, (scene, result) in built.items():
+            used = texture_used_nbytes(result.trace)
+            assert 0 < used <= scene.texture_storage_nbytes
+
+    def test_distinct_texels_counts(self):
+        from repro.pipeline.trace import TraceBuilder
+        from repro.texture.filtering import generate_accesses
+        builder = TraceBuilder()
+        accesses = generate_accesses(np.array([0.5, 0.5]), np.array([0.5, 0.5]),
+                                     np.array([1.5, 1.5]), 5, 16, 16)
+        builder.append(0, accesses, 2)
+        trace = builder.build()
+        # Identical fragments touch identical texels.
+        assert distinct_texels(trace) == 8

@@ -1,0 +1,116 @@
+"""Unit tests for the stack-distance engine (repro.core.stackdist)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import CacheConfig, LineStream, simulate
+from repro.core.stackdist import (
+    COLD,
+    DistanceProfile,
+    miss_rate_curve,
+    stack_distances,
+)
+
+
+def naive_stack_distances(lines):
+    """O(n^2) reference: distinct lines since previous access, plus 1."""
+    result = []
+    for index, line in enumerate(lines):
+        previous = None
+        for j in range(index - 1, -1, -1):
+            if lines[j] == line:
+                previous = j
+                break
+        if previous is None:
+            result.append(COLD)
+        else:
+            result.append(len(set(lines[previous + 1:index])) + 1)
+    return result
+
+
+class TestStackDistances:
+    def test_simple_sequence(self):
+        lines = np.array([1, 2, 3, 1, 2, 1])
+        assert stack_distances(lines).tolist() == [COLD, COLD, COLD, 3, 3, 2]
+
+    def test_immediate_repeat_distance_one(self):
+        lines = np.array([5, 5])
+        assert stack_distances(lines).tolist() == [COLD, 1]
+
+    def test_matches_naive_reference(self):
+        rng = np.random.default_rng(7)
+        lines = rng.integers(0, 40, size=400)
+        fast = stack_distances(lines)
+        slow = naive_stack_distances(lines.tolist())
+        assert fast.tolist() == slow
+
+    def test_all_distinct(self):
+        lines = np.arange(100)
+        assert (stack_distances(lines) == COLD).all()
+
+
+class TestDistanceProfile:
+    def test_misses_at_capacity(self):
+        lines = np.array([1, 2, 3, 1, 2, 1])
+        stream = LineStream(line_size=32, run_lines=lines, total_accesses=6)
+        profile = DistanceProfile.from_stream(stream)
+        # Capacity 3 holds everything: only the 3 cold misses remain.
+        assert profile.misses_at(3) == 3
+        # Capacity 2 misses the two distance-3 accesses as well.
+        assert profile.misses_at(2) == 5
+        assert profile.misses_at(1) == 6
+
+    def test_inclusion_monotonicity(self):
+        rng = np.random.default_rng(11)
+        lines = rng.integers(0, 64, size=2000)
+        stream = LineStream(line_size=32, run_lines=lines, total_accesses=2000)
+        profile = DistanceProfile.from_stream(stream)
+        misses = [profile.misses_at(c) for c in range(1, 80)]
+        assert all(a >= b for a, b in zip(misses, misses[1:]))
+
+    def test_duplicate_hits_counted(self):
+        addresses = np.array([0, 0, 0, 64])
+        stream = LineStream.from_addresses(addresses, 64)
+        profile = DistanceProfile.from_stream(stream)
+        assert profile.total_accesses == 4
+        assert profile.duplicate_hits == 2
+        assert profile.misses_at(1) == 2  # two cold misses
+
+    def test_rejects_zero_capacity(self):
+        profile = DistanceProfile(counts=np.zeros(1, dtype=np.int64),
+                                  cold=0, duplicate_hits=0)
+        with pytest.raises(ValueError):
+            profile.misses_at(0)
+
+
+class TestMissRateCurve:
+    def test_agrees_with_direct_simulation(self):
+        rng = np.random.default_rng(3)
+        # A mix of streaming and reuse.
+        addresses = np.concatenate([
+            rng.integers(0, 2048, size=4000) * 8,
+            np.arange(0, 8192, 8),
+        ])
+        curve = miss_rate_curve(addresses, 64, [512, 1024, 4096])
+        for size, rate in zip(curve.sizes, curve.miss_rates):
+            stats = simulate(addresses, CacheConfig(size=int(size), line_size=64))
+            assert stats.miss_rate == pytest.approx(rate, abs=1e-12)
+
+    def test_cold_rate_floor(self):
+        addresses = np.arange(0, 4096, 4)
+        curve = miss_rate_curve(addresses, 32, [128, 4096])
+        assert curve.cold_miss_rate == pytest.approx(128 / 1024)
+        assert np.allclose(curve.miss_rates, curve.cold_miss_rate)
+
+    def test_sizes_sorted(self):
+        addresses = np.arange(0, 4096, 4)
+        curve = miss_rate_curve(addresses, 32, [4096, 128])
+        assert curve.sizes.tolist() == [128, 4096]
+
+    def test_as_stats(self):
+        addresses = np.arange(0, 4096, 4)
+        curve = miss_rate_curve(addresses, 32, [1024])
+        stats = curve.as_stats()[0]
+        assert stats.config.size == 1024
+        assert stats.accesses == 1024
+        assert stats.misses == 128

@@ -1,0 +1,78 @@
+"""Unit tests for sweep helpers (repro.core.sweep)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import CacheConfig, simulate
+from repro.core.sweep import (
+    PAPER_ASSOCIATIVITIES,
+    PAPER_CACHE_SIZES,
+    TraceStreams,
+    fully_associative_curve,
+    sweep_associativities,
+    sweep_cache_sizes,
+)
+
+
+@pytest.fixture
+def addresses():
+    rng = np.random.default_rng(17)
+    return np.concatenate([
+        rng.integers(0, 1024, size=3000) * 16,
+        np.arange(0, 32768, 16),
+    ])
+
+
+class TestTraceStreams:
+    def test_stream_memoized(self, addresses):
+        streams = TraceStreams(addresses)
+        assert streams.stream(32) is streams.stream(32)
+        assert streams.stream(32) is not streams.stream(64)
+
+    def test_profile_memoized(self, addresses):
+        streams = TraceStreams(addresses)
+        assert streams.profile(32) is streams.profile(32)
+
+
+class TestSweeps:
+    def test_fully_associative_sweep_matches_simulation(self, addresses):
+        stats = sweep_cache_sizes(addresses, 32, [1024, 8192], assoc=None)
+        for entry in stats:
+            direct = simulate(addresses, entry.config)
+            assert entry.misses == direct.misses
+
+    def test_finite_assoc_sweep(self, addresses):
+        stats = sweep_cache_sizes(addresses, 32, [1024, 4096], assoc=2)
+        assert [s.config.size for s in stats] == [1024, 4096]
+        assert stats[0].misses >= stats[1].misses
+
+    def test_associativity_sweep_matches_direct_simulation(self, addresses):
+        stats = sweep_associativities(addresses, 4096, 64,
+                                      associativities=(1, 2, None))
+        assert [s.config.assoc for s in stats] == [1, 2, None]
+        for entry in stats:
+            assert entry.misses == simulate(addresses, entry.config).misses
+
+    def test_associativity_removes_pathological_conflicts(self):
+        # Alternating same-set lines: direct-mapped thrashes, 2-way
+        # holds both (Section 5.3.3's Mip-level conflict scenario).
+        addresses = np.tile([0, 4096], 100).astype(np.int64) * 1
+        stats = sweep_associativities(addresses, 4096, 64,
+                                      associativities=(1, 2))
+        assert stats[0].misses == 200
+        assert stats[1].misses == 2
+
+    def test_associativity_sweep_classified(self, addresses):
+        stats = sweep_associativities(addresses, 2048, 64,
+                                      associativities=(1, 2), classify=True)
+        for entry in stats:
+            assert entry.conflict_misses is not None
+            assert entry.cold_misses + entry.capacity_misses + entry.conflict_misses == entry.misses
+
+    def test_curve_helper(self, addresses):
+        curve = fully_associative_curve(addresses, 32, [1024, 2048])
+        assert len(curve.miss_rates) == 2
+
+    def test_paper_grids(self):
+        assert 32 * 1024 in PAPER_CACHE_SIZES
+        assert None in PAPER_ASSOCIATIVITIES

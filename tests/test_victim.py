@@ -1,0 +1,72 @@
+"""Tests for the victim-cache ablation (repro.core.victim)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import CacheConfig, simulate
+from repro.core.victim import simulate_victim
+
+
+def config(n_lines=8, line=32):
+    return CacheConfig(n_lines * line, line, 1)
+
+
+class TestSimulateVictim:
+    def test_zero_victims_equals_direct_mapped(self):
+        rng = np.random.default_rng(4)
+        addresses = rng.integers(0, 1024, size=3000) * 32
+        cfg = config()
+        victim = simulate_victim(addresses, cfg, victim_lines=0)
+        direct = simulate(addresses, cfg)
+        assert victim.misses == direct.misses
+        assert victim.victim_hits == 0
+
+    def test_pingpong_conflict_absorbed(self):
+        # Two lines in the same set alternating: a 1-entry victim
+        # buffer turns all but the cold misses into victim hits.
+        cfg = config(n_lines=8, line=32)
+        stride_lines = 8  # same set, different tag
+        addresses = np.tile([0, stride_lines * 32], 100).astype(np.int64)
+        stats = simulate_victim(addresses, cfg, victim_lines=1)
+        assert stats.misses == 2
+        assert stats.victim_hits == 198
+
+    def test_victim_capacity_limits_absorption(self):
+        # Three-way ping-pong needs two victim entries.
+        cfg = config(n_lines=8, line=32)
+        lines = np.tile([0, 8, 16], 50)
+        addresses = lines * 32
+        one = simulate_victim(addresses, cfg, victim_lines=1)
+        two = simulate_victim(addresses, cfg, victim_lines=2)
+        assert two.misses == 3
+        assert one.misses > two.misses
+
+    def test_never_worse_than_direct(self):
+        rng = np.random.default_rng(9)
+        addresses = rng.integers(0, 512, size=4000) * 32
+        cfg = config()
+        direct = simulate(addresses, cfg).misses
+        for victims in (1, 2, 4, 8):
+            assert simulate_victim(addresses, cfg, victims).misses <= direct
+
+    def test_miss_rate_counts_memory_fetches_only(self):
+        cfg = config(n_lines=8, line=32)
+        addresses = np.tile([0, 8 * 32], 10).astype(np.int64)
+        stats = simulate_victim(addresses, cfg, victim_lines=1)
+        assert stats.accesses == 20
+        assert stats.miss_rate == pytest.approx(2 / 20)
+        assert stats.victim_hit_rate == pytest.approx(18 / 20)
+
+    def test_rejects_non_direct_mapped(self):
+        with pytest.raises(ValueError):
+            simulate_victim(np.array([0]), CacheConfig(256, 32, 2), 4)
+
+    def test_rejects_negative_victims(self):
+        with pytest.raises(ValueError):
+            simulate_victim(np.array([0]), config(), -1)
+
+    def test_cold_misses_tracked(self):
+        cfg = config()
+        addresses = np.arange(0, 64 * 32, 32)
+        stats = simulate_victim(addresses, cfg, victim_lines=4)
+        assert stats.cold_misses == 64

@@ -1,0 +1,92 @@
+"""Unit tests for working-set detection and report formatting."""
+
+import numpy as np
+
+from repro.analysis.report import format_percent, format_series, format_table
+from repro.analysis.workingset import (
+    first_working_set,
+    worst_case_working_set,
+)
+from repro.core.stackdist import MissRateCurve
+
+
+def curve(sizes, rates):
+    return MissRateCurve(
+        line_size=32,
+        sizes=np.asarray(sizes, dtype=np.int64),
+        miss_rates=np.asarray(rates, dtype=float),
+        cold_miss_rate=min(rates),
+        total_accesses=100000,
+    )
+
+
+class TestFirstWorkingSet:
+    def test_detects_sharp_knee(self):
+        sizes = [1024, 2048, 4096, 8192, 16384]
+        rates = [0.20, 0.19, 0.18, 0.02, 0.018]
+        ws = first_working_set(curve(sizes, rates))
+        assert ws.size == 8192
+        assert ws.drop_ratio > 5
+
+    def test_flat_curve_returns_last(self):
+        sizes = [1024, 2048, 4096]
+        rates = [0.01, 0.0099, 0.0098]
+        ws = first_working_set(curve(sizes, rates))
+        assert ws.size == 4096
+
+    def test_first_knee_wins_over_later(self):
+        sizes = [1024, 2048, 4096, 8192]
+        rates = [0.2, 0.02, 0.019, 0.01]
+        ws = first_working_set(curve(sizes, rates))
+        assert ws.size == 2048
+
+    def test_ignores_early_small_drop(self):
+        sizes = [1024, 2048, 4096, 8192]
+        rates = [0.30, 0.21, 0.02, 0.019]
+        ws = first_working_set(curve(sizes, rates))
+        assert ws.size == 4096
+
+
+class TestWorstCaseWorkingSet:
+    def test_small_texture_uses_diagonal(self):
+        # Texture smaller than screen: line size x texture diagonal.
+        bound = worst_case_working_set(32, 64, 64, 1280, 1024)
+        assert bound == 32 * int(np.ceil(np.hypot(64, 64)))
+
+    def test_large_texture_uses_screen(self):
+        bound = worst_case_working_set(32, 2048, 2048, 1280, 1024)
+        assert bound == 32 * 1280
+
+    def test_paper_16kb_claim(self):
+        # Abstract: working sets at most 16 KB.  A 128x128 Town-like
+        # texture with 32-byte lines bounds at ~5.7 KB; a full scan line
+        # of a 1280-wide screen at 8-texel lines is 40 KB worst case --
+        # measured sets are far below it.
+        small = worst_case_working_set(32, 128, 128, 1280, 1024)
+        assert small < 16 * 1024
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 2.5]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert lines[2].startswith("-")
+        assert len(lines) == 5
+
+    def test_cell_formats(self):
+        text = format_table(["v"], [[0.00042], [3.14159], [123.456], [0.0]])
+        assert "0.0004" in text
+        assert "3.14" in text
+        assert "123.5" in text
+
+    def test_format_percent(self):
+        assert format_percent(0.0123) == "1.23%"
+        assert format_percent(0.5, digits=0) == "50%"
+
+    def test_format_series(self):
+        text = format_series("town", [1, 2], [0.5, 0.25], "KB", "miss")
+        assert text.startswith("town [KB -> miss]")
+        assert "1:0.50" in text

@@ -1,0 +1,79 @@
+"""Unit tests for the z-buffer and framebuffer."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.raster.framebuffer import Framebuffer
+from repro.raster.zbuffer import ZBuffer
+
+
+class TestZBuffer:
+    def test_first_write_passes(self):
+        zbuffer = ZBuffer(4, 4)
+        passed = zbuffer.test_and_write(np.array([1]), np.array([2]), np.array([0.5]))
+        assert passed.tolist() == [True]
+
+    def test_farther_fragment_rejected(self):
+        zbuffer = ZBuffer(4, 4)
+        zbuffer.test_and_write(np.array([1]), np.array([1]), np.array([0.3]))
+        passed = zbuffer.test_and_write(np.array([1]), np.array([1]), np.array([0.7]))
+        assert passed.tolist() == [False]
+
+    def test_nearer_fragment_replaces(self):
+        zbuffer = ZBuffer(4, 4)
+        zbuffer.test_and_write(np.array([1]), np.array([1]), np.array([0.7]))
+        passed = zbuffer.test_and_write(np.array([1]), np.array([1]), np.array([0.3]))
+        assert passed.tolist() == [True]
+        assert zbuffer.depth[1, 1] == 0.3
+
+    def test_clear(self):
+        zbuffer = ZBuffer(2, 2)
+        zbuffer.test_and_write(np.array([0]), np.array([0]), np.array([0.1]))
+        zbuffer.clear()
+        assert np.isinf(zbuffer.depth).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZBuffer(0, 4)
+
+
+class TestFramebuffer:
+    def test_clear_color(self):
+        framebuffer = Framebuffer(2, 2, clear_color=(10, 20, 30))
+        assert (framebuffer.pixels[0, 0] == [10, 20, 30]).all()
+
+    def test_write_clips_range(self):
+        framebuffer = Framebuffer(2, 2)
+        framebuffer.write(np.array([0]), np.array([0]),
+                          np.array([[300.0, -5.0, 128.0]]))
+        assert framebuffer.pixels[0, 0].tolist() == [255, 0, 128]
+
+    def test_ppm_roundtrip(self, tmp_path):
+        framebuffer = Framebuffer(3, 2, clear_color=(1, 2, 3))
+        path = os.path.join(tmp_path, "out.ppm")
+        framebuffer.to_ppm(path)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        assert data.startswith(b"P6\n3 2\n255\n")
+        assert len(data) == len(b"P6\n3 2\n255\n") + 3 * 2 * 3
+
+    def test_png_signature(self, tmp_path):
+        framebuffer = Framebuffer(4, 4)
+        path = os.path.join(tmp_path, "out.png")
+        framebuffer.to_png(path)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        assert data.startswith(b"\x89PNG\r\n\x1a\n")
+        assert b"IHDR" in data and b"IDAT" in data and b"IEND" in data
+
+    def test_checksum_changes_with_content(self):
+        framebuffer = Framebuffer(2, 2)
+        before = framebuffer.checksum()
+        framebuffer.write(np.array([1]), np.array([1]), np.array([[255.0, 255, 255]]))
+        assert framebuffer.checksum() != before
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Framebuffer(4, 0)
