@@ -16,26 +16,21 @@ from paperbench import emit, kb, scaled_cache
 
 from repro.analysis import format_table
 from repro.core import miss_rate_curve
-from repro.pipeline.renderer import Renderer
-from repro.raster.order import HorizontalOrder, VerticalOrder
 
 CACHE_SIZES = sorted({scaled_cache(1024 * k) for k in (1, 4, 16, 64)})
 LINE = 64
 LAYOUT = ("blocked", 4)
-SCENES = {"town": VerticalOrder(), "flight": HorizontalOrder()}
+SCENES = {"town": ("vertical",), "flight": ("horizontal",)}
 
 
 def measure(bank):
     out = {}
     for scene_name, order in SCENES.items():
-        scene = bank.scene(scene_name)
-        placements = bank.placements(scene_name, LAYOUT)
         for label, kwargs in (("mipmapped trilinear", {}),
                               ("GL_LINEAR level 0", {"use_mipmaps": False})):
-            renderer = Renderer(order=order, produce_image=False, **kwargs)
-            result = renderer.render(scene)
-            addresses = result.trace.byte_addresses(placements)
-            curve = miss_rate_curve(addresses, LINE, CACHE_SIZES)
+            result = bank.render(scene_name, order, **kwargs)
+            streams = bank.streams(scene_name, order, LAYOUT, **kwargs)
+            curve = miss_rate_curve(streams, LINE, CACHE_SIZES)
             out[(scene_name, label)] = (result, curve)
     return out
 

@@ -17,25 +17,20 @@ from repro.analysis import format_table
 from repro.core import CacheConfig, simulate
 from repro.core.bandwidth import mbytes_per_second
 from repro.core.machine import PAPER_MACHINE
-from repro.pipeline.renderer import Renderer
-from repro.raster.order import TiledOrder
 
 SCENE = "flight"
+ORDER = ("tiled", 8)
 LAYOUT = ("padded", 8, 4)
 LINE = 128
 ANISO = (1, 2, 4, 8)
 
 
 def measure(bank):
-    scene = bank.scene(SCENE)
-    placements = bank.placements(SCENE, LAYOUT)
     config = CacheConfig(scaled_cache(32 * 1024), LINE, 2)
     results = {}
     for aniso in ANISO:
-        renderer = Renderer(order=TiledOrder(8), produce_image=False,
-                            max_anisotropy=aniso)
-        result = renderer.render(scene)
-        addresses = result.trace.byte_addresses(placements)
+        result = bank.render(SCENE, ORDER, max_anisotropy=aniso)
+        addresses = bank.addresses(SCENE, ORDER, LAYOUT, max_anisotropy=aniso)
         stats = simulate(addresses, config)
         results[aniso] = (result, stats)
     return results

@@ -19,8 +19,6 @@ from paperbench import emit, kb, scaled_cache
 from repro.analysis import format_table
 from repro.core import CacheConfig
 from repro.core.cache import simulate_sequence
-from repro.pipeline.renderer import render_trace
-from repro.scenes import ALL_SCENES
 
 SCENES = ("goblet", "town")
 LINE = 64
@@ -32,9 +30,9 @@ def measure(bank):
     results = {}
     for name in SCENES:
         placements = bank.placements(name, LAYOUT)
-        frame0 = bank.trace(name, bank.paper_order_spec(name))
-        scene1 = ALL_SCENES[name]().build(scale=bank.scale, time=FRAME_DT)
-        frame1 = render_trace(scene1).trace
+        order = bank.paper_order_spec(name)
+        frame0 = bank.trace(name, order)
+        frame1 = bank.trace(name, order, time=FRAME_DT)
         segments = [frame0.byte_addresses(placements),
                     frame1.byte_addresses(placements)]
         texture_bytes = sum(p.total_nbytes for p in placements)

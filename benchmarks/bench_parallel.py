@@ -12,8 +12,6 @@ balances load but fragments locality (higher per-stream miss rates and
 redundant fetches of the same lines by multiple generators).
 """
 
-import numpy as np
-
 from paperbench import emit, kb, scaled_cache
 
 from repro.core import CacheConfig
@@ -24,8 +22,6 @@ from repro.core.parallel import (
     simulate_parallel,
 )
 from repro.analysis import format_table
-from repro.pipeline.renderer import Renderer
-from repro.raster.order import TiledOrder
 
 SCENE = "town"
 LAYOUT = ("padded", 4, 4)
@@ -44,10 +40,8 @@ def distributions(n, height):
 
 def measure(bank):
     scene = bank.scene(SCENE)
-    # Position-annotated render (the bank's cached traces lack x/y).
-    renderer = Renderer(order=TiledOrder(8), produce_image=False,
-                        record_positions=True)
-    trace = renderer.render(scene).trace
+    # Position-annotated trace (the default cached traces lack x/y).
+    trace = bank.trace(SCENE, ("tiled", 8), record_positions=True)
     placements = bank.placements(SCENE, LAYOUT)
     config = CacheConfig(scaled_cache(16 * 1024), LINE, 2)
     results = {}

@@ -15,32 +15,26 @@ from paperbench import SCALE, emit
 
 from repro.analysis import first_working_set, format_table, miss_rate_chart
 from repro.core import miss_rate_curve
-from repro.pipeline.renderer import render_trace
-from repro.raster.order import VerticalOrder
-from repro.scenes import TownScene
-from repro.texture.layout import NonblockedLayout
-from repro.texture.memory import place_textures
+from repro.engine import TraceSpec
 
 SIZES_PER_SCALE = {
     1.0: [1024 * k for k in (1, 2, 4, 8, 16, 32, 64)],
 }
 
 
-def curve_at(scale):
-    scene = TownScene().build(scale=scale)
-    trace = render_trace(scene, order=VerticalOrder()).trace
-    placements = place_textures(scene.get_mipmaps(), NonblockedLayout())
-    addresses = trace.byte_addresses(placements)
+def curve_at(bank, scale):
+    spec = TraceSpec(scene="town", scale=scale, order=("vertical",))
+    streams = bank.engine.streams(spec, ("nonblocked",))
     sizes = [max(int(1024 * k * scale), 256) for k in (1, 2, 4, 8, 16, 32, 64)]
-    return miss_rate_curve(addresses, 32, sorted(set(sizes)))
+    return miss_rate_curve(streams, 32, sorted(set(sizes)))
 
 
 def measure(bank):
     small_scale = SCALE
     large_scale = min(SCALE * 2, 1.0)
     return {
-        small_scale: curve_at(small_scale),
-        large_scale: curve_at(large_scale),
+        small_scale: curve_at(bank, small_scale),
+        large_scale: curve_at(bank, large_scale),
     }
 
 

@@ -1,10 +1,14 @@
 """Shared infrastructure for the paper-reproduction benchmarks.
 
 Every file in this directory regenerates one of the paper's tables or
-figures.  Rendering a scene is expensive, so a session-scoped
-:class:`SceneBank` caches rendered traces per (scene, traversal order)
-and byte-address streams per (scene, order, layout); stack-distance
-profiles are cached inside :class:`repro.core.TraceStreams`.
+figures.  Rendering a scene is expensive, so all pipeline stages are
+obtained through :mod:`repro.engine`: a session-wide :class:`Engine`
+memoizes scenes, renders, placements and streams in memory, and the
+content-addressed :class:`~repro.engine.ArtifactStore` (default
+``benchmarks/.cache/``, relocatable via ``REPRO_CACHE_DIR``) persists
+rendered traces, byte-address streams and stack-distance profiles on
+disk -- so a warm pytest-benchmark session performs **zero** renders
+and reproduces bit-identical numbers.
 
 Scale: ``REPRO_SCALE`` (default 0.25) scales the scenes as described in
 DESIGN.md; cache sizes quoted from the paper are scaled linearly with
@@ -21,13 +25,13 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import (
-    ALL_SCENES,
-    TraceStreams,
-    make_layout,
-    make_order,
-    place_textures,
-    render_trace,
+from repro.engine import (
+    ArtifactStore,
+    Engine,
+    TraceSpec,
+    layout_from_spec,
+    order_from_spec,
+    paper_order_spec,
 )
 
 #: Reproduction scale (1.0 = the paper's resolutions).
@@ -55,87 +59,54 @@ def kb(nbytes: int) -> str:
     return f"{nbytes}B"
 
 
-def order_from_spec(spec):
-    """Build a TraversalOrder from a hashable spec tuple.
-
-    ``("horizontal",)``, ``("vertical",)``, ``("tiled", 8)``,
-    ``("tiled", 8, "col", "col")``, ``("hilbert", 11)``.
-    """
-    name = spec[0]
-    if name == "tiled":
-        kwargs = {"tile_w": spec[1]}
-        if len(spec) > 2:
-            kwargs["within"] = spec[2]
-            kwargs["across"] = spec[3]
-        return make_order("tiled", **kwargs)
-    if name == "hilbert":
-        return make_order("hilbert", order_bits=spec[1])
-    return make_order(name)
-
-
-def layout_from_spec(spec):
-    """Build a TextureLayout from a hashable spec tuple.
-
-    ``("nonblocked",)``, ``("blocked", 8)``, ``("padded", 8, 4)``,
-    ``("blocked6d", 8, 32768)``, ``("williams",)``.
-    """
-    name = spec[0]
-    if name == "blocked":
-        return make_layout("blocked", block_w=spec[1])
-    if name == "padded":
-        return make_layout("padded", block_w=spec[1], pad_blocks=spec[2])
-    if name == "blocked6d":
-        return make_layout("blocked6d", block_w=spec[1], superblock_nbytes=spec[2])
-    return make_layout(name)
-
-
 class SceneBank:
-    """Session-wide cache of scenes, traces, placements and streams."""
+    """Session-wide access to scenes, traces, placements and streams.
 
-    def __init__(self, scale: float = SCALE):
+    A thin adapter over :class:`repro.engine.Engine` kept for the
+    harnesses' vocabulary: methods take (scene name, order spec,
+    layout spec) tuples plus optional renderer keyword arguments
+    (``time``, ``max_anisotropy``, ``lod_bias``, ``use_mipmaps``,
+    ``record_positions``), and every artifact round-trips through the
+    shared on-disk store.
+    """
+
+    def __init__(self, scale: float = SCALE, store: ArtifactStore = None):
         self.scale = scale
-        self._scenes = {}
-        self._results = {}
-        self._placements = {}
-        self._streams = {}
+        self.engine = Engine(store=store)
+
+    def _spec(self, name: str, order_spec: tuple, **options) -> TraceSpec:
+        return TraceSpec(scene=name, scale=self.scale, order=order_spec,
+                         **options)
 
     def scene(self, name: str):
-        if name not in self._scenes:
-            self._scenes[name] = ALL_SCENES[name]().build(scale=self.scale)
-        return self._scenes[name]
+        return self.engine.scene(name, self.scale)
 
     def paper_order_spec(self, name: str) -> tuple:
         """The rasterization direction the paper reports for a scene."""
-        return (self.scene(name).paper_rasterization,)
+        return paper_order_spec(name)
 
-    def render(self, name: str, order_spec: tuple):
-        """RenderResult for (scene, order), cached."""
-        key = (name, order_spec)
-        if key not in self._results:
-            order = order_from_spec(order_spec)
-            self._results[key] = render_trace(self.scene(name), order=order)
-        return self._results[key]
+    def render(self, name: str, order_spec: tuple, **options):
+        """RenderResult for (scene, order [, renderer options]), cached."""
+        return self.engine.render(self._spec(name, order_spec, **options))
 
-    def trace(self, name: str, order_spec: tuple):
-        return self.render(name, order_spec).trace
+    def trace(self, name: str, order_spec: tuple, **options):
+        return self.render(name, order_spec, **options).trace
 
     def placements(self, name: str, layout_spec: tuple):
-        key = (name, layout_spec)
-        if key not in self._placements:
-            layout = layout_from_spec(layout_spec)
-            self._placements[key] = place_textures(
-                self.scene(name).get_mipmaps(), layout)
-        return self._placements[key]
+        return self.engine.placements(name, self.scale, layout_spec)
 
-    def streams(self, name: str, order_spec: tuple, layout_spec: tuple) -> TraceStreams:
+    def addresses(self, name: str, order_spec: tuple, layout_spec: tuple,
+                  **options):
+        """Byte-address stream for (scene, order, layout), cached."""
+        return self.engine.addresses(self._spec(name, order_spec, **options),
+                                     layout_spec)
+
+    def streams(self, name: str, order_spec: tuple, layout_spec: tuple,
+                **options):
         """Byte-address TraceStreams for (scene, order, layout), cached
         together with its per-line-size collapsed streams/profiles."""
-        key = (name, order_spec, layout_spec)
-        if key not in self._streams:
-            addresses = self.trace(name, order_spec).byte_addresses(
-                self.placements(name, layout_spec))
-            self._streams[key] = TraceStreams(addresses)
-        return self._streams[key]
+        return self.engine.streams(self._spec(name, order_spec, **options),
+                                   layout_spec)
 
 
 def emit(experiment: str, text: str) -> None:
@@ -145,3 +116,15 @@ def emit(experiment: str, text: str) -> None:
     print(banner + text)
     path = RESULTS_DIR / f"{experiment}.txt"
     path.write_text(banner + text + "\n")
+
+
+__all__ = [
+    "SCALE",
+    "RESULTS_DIR",
+    "SceneBank",
+    "emit",
+    "kb",
+    "layout_from_spec",
+    "order_from_spec",
+    "scaled_cache",
+]

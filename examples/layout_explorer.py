@@ -6,28 +6,26 @@ rasterization and pits all five memory representations (Williams,
 nonblocked, blocked, padded, 6D-blocked) against each other across
 cache sizes -- the Section 5 study in one script.
 
+All pipeline stages go through :mod:`repro.engine`, so the render and
+every byte-address stream land in the content-addressed artifact store
+(``benchmarks/.cache/`` or ``$REPRO_CACHE_DIR``): a second run of this
+script performs zero renders.
+
 Run:  python examples/layout_explorer.py [scene] [scale]
 """
 
 import sys
 
-from repro import (
-    TraceStreams,
-    VerticalOrder,
-    make_layout,
-    make_scene,
-    miss_rate_curve,
-    place_textures,
-    render_trace,
-)
 from repro.analysis import format_table
+from repro.core import miss_rate_curve
+from repro.engine import Engine, TraceSpec
 
 LAYOUTS = [
-    ("williams", {}),
-    ("nonblocked", {}),
-    ("blocked", {"block_w": 4}),
-    ("padded", {"block_w": 4, "pad_blocks": 4}),
-    ("blocked6d", {"block_w": 4, "superblock_nbytes": 8192}),
+    ("williams",),
+    ("nonblocked",),
+    ("blocked", 4),
+    ("padded", 4, 4),
+    ("blocked6d", 4, 8192),
 ]
 
 
@@ -35,21 +33,21 @@ def main() -> None:
     scene_name = sys.argv[1] if len(sys.argv) > 1 else "town"
     scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
 
-    scene = make_scene(scene_name).build(scale=scale)
-    result = render_trace(scene, order=VerticalOrder())
+    engine = Engine()
+    spec = TraceSpec(scene=scene_name, scale=scale, order=("vertical",))
+    scene = engine.scene(scene_name, scale)
+    result = engine.render(spec)
     print(f"{scene_name} at {scene.width}x{scene.height}, vertical "
           f"rasterization: {result.n_accesses:,} texel fetches")
 
     line_size = 64
     cache_sizes = [1024, 2048, 4096, 8192, 16384, 32768]
     rows = []
-    for spec, kwargs in LAYOUTS:
-        layout = make_layout(spec, **kwargs)
-        placements = place_textures(scene.get_mipmaps(), layout)
-        addresses = result.trace.byte_addresses(placements)
-        curve = miss_rate_curve(TraceStreams(addresses).stream(line_size),
-                                line_size, cache_sizes)
-        rows.append([layout.name] + [f"{100 * r:.2f}%" for r in curve.miss_rates])
+    for layout_spec in LAYOUTS:
+        streams = engine.streams(spec, layout_spec)
+        curve = miss_rate_curve(streams, line_size, cache_sizes)
+        rows.append([layout_spec[0]]
+                    + [f"{100 * r:.2f}%" for r in curve.miss_rates])
 
     headers = ["layout"] + [f"{s // 1024}KB" for s in cache_sizes]
     print(format_table(headers, rows,

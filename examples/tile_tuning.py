@@ -6,6 +6,11 @@ tile dimensions trade off against cache size -- reproducing the
 Figure 6.2 experiment interactively, plus the Hilbert-curve traversal
 the paper's footnote 1 conjectures is optimal.
 
+Each traversal order is a separate render, so this example benefits
+most from :mod:`repro.engine`: all eight renders are cached in the
+artifact store and a re-run (even across processes) replays them from
+disk.
+
 Run:  python examples/tile_tuning.py [scene] [scale]
 """
 
@@ -13,39 +18,34 @@ import sys
 
 import numpy as np
 
-from repro import (
-    BlockedLayout,
-    HilbertOrder,
-    HorizontalOrder,
-    TiledOrder,
-    make_scene,
-    miss_rate_curve,
-    place_textures,
-    render_trace,
-)
 from repro.analysis import format_table
+from repro.core import miss_rate_curve
+from repro.engine import Engine, TraceSpec
+
+LAYOUT = ("blocked", 8)
 
 
 def main() -> None:
     scene_name = sys.argv[1] if len(sys.argv) > 1 else "guitar"
     scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
 
-    scene = make_scene(scene_name).build(scale=scale)
-    placements = place_textures(scene.get_mipmaps(), BlockedLayout(8))
+    engine = Engine()
+    scene = engine.scene(scene_name, scale)
     hilbert_bits = int(np.ceil(np.log2(max(scene.width, scene.height))))
 
-    orders = [HorizontalOrder()]
-    orders += [TiledOrder(t) for t in (2, 4, 8, 16, 32, 64)]
-    orders.append(HilbertOrder(hilbert_bits))
+    orders = [("horizontal",)]
+    orders += [("tiled", t) for t in (2, 4, 8, 16, 32, 64)]
+    orders.append(("hilbert", hilbert_bits))
 
     cache_sizes = [512, 1024, 2048, 4096, 8192]
     line_size = 128
     rows = []
-    for order in orders:
-        result = render_trace(scene, order=order)
-        addresses = result.trace.byte_addresses(placements)
-        curve = miss_rate_curve(addresses, line_size, cache_sizes)
-        rows.append([order.name] + [f"{100 * r:.2f}%" for r in curve.miss_rates])
+    for order_spec in orders:
+        spec = TraceSpec(scene=scene_name, scale=scale, order=order_spec)
+        streams = engine.streams(spec, LAYOUT)
+        curve = miss_rate_curve(streams, line_size, cache_sizes)
+        name = "-".join(str(part) for part in order_spec)
+        rows.append([name] + [f"{100 * r:.2f}%" for r in curve.miss_rates])
 
     headers = ["order"] + [f"{s // 1024 or s}{'KB' if s >= 1024 else 'B'}"
                            for s in cache_sizes]

@@ -96,6 +96,13 @@ from .analysis import (
     mean_texture_runlength,
     repetition_factor,
 )
+from .engine import (
+    ArtifactStore,
+    Engine,
+    ExperimentSpec,
+    TraceSpec,
+    run_experiment,
+)
 
 __version__ = "1.0.0"
 
@@ -124,4 +131,6 @@ __all__ = [
     # analysis
     "accesses_per_texel", "repetition_factor", "mean_texture_runlength",
     "first_working_set", "format_table",
+    # engine
+    "ArtifactStore", "Engine", "ExperimentSpec", "TraceSpec", "run_experiment",
 ]

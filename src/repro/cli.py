@@ -10,10 +10,19 @@ Commands
 ``sweep``
     Print a miss-rate curve along one axis (cache size, line size,
     associativity, or screen tile size).
+``cache``
+    Inspect (``stats``) or empty (``clear``) the shared on-disk
+    artifact store.
 ``scenes``
     List the benchmark scenes and their headline characteristics.
 ``costs``
     Print the Table 2.1 fragment-generator cost model for a layout.
+
+Every trace-consuming command goes through :mod:`repro.engine`, so
+renders, byte-address streams and distance profiles are reused from
+the content-addressed store (``benchmarks/.cache/`` by default,
+``REPRO_CACHE_DIR`` to relocate) across invocations and with the
+benchmark harnesses.
 """
 
 from __future__ import annotations
@@ -30,15 +39,19 @@ from .core import (
     cached_bandwidth,
     classify_misses,
     mbytes_per_second,
-    miss_rate_curve,
-    simulate,
     uncached_bandwidth,
 )
-from .pipeline import Renderer, fragment_cost
+from .engine import (
+    ArtifactStore,
+    Engine,
+    ExperimentSpec,
+    TraceSpec,
+    layout_from_spec,
+    order_from_spec,
+)
+from .pipeline import fragment_cost
 from .pipeline.costs import PHASE_TABLE
-from .raster import make_order
 from .scenes import ALL_SCENES, make_scene
-from .texture import make_layout, place_textures
 
 
 def _add_scene_arguments(parser):
@@ -73,35 +86,40 @@ def _add_layout_arguments(parser):
                         help="pad blocks per row for the padded layout")
 
 
-def _build_order(args, scene_data):
+def _order_spec(args, scene_name: str) -> tuple:
+    """The traversal-order spec tuple selected by the CLI flags."""
     if args.order == "paper":
-        return make_order(scene_data.paper_rasterization)
+        return (ALL_SCENES[scene_name].paper_rasterization,)
     if args.order == "tiled":
-        return make_order("tiled", tile_w=args.tile)
+        return ("tiled", args.tile)
     if args.order == "hilbert":
-        bits = int(np.ceil(np.log2(max(scene_data.width, scene_data.height))))
-        return make_order("hilbert", order_bits=bits)
-    return make_order(args.order)
+        width, height = make_scene(scene_name).frame_size(args.scale)
+        return ("hilbert", int(np.ceil(np.log2(max(width, height)))))
+    return (args.order,)
 
 
-def _build_layout(args, cache_size: int = 32 * 1024):
+def _layout_spec(args, cache_size: int = 32 * 1024) -> tuple:
     if args.layout == "blocked":
-        return make_layout("blocked", block_w=args.block)
+        return ("blocked", args.block)
     if args.layout == "padded":
-        return make_layout("padded", block_w=args.block, pad_blocks=args.pad)
+        return ("padded", args.block, args.pad)
     if args.layout == "blocked6d":
-        return make_layout("blocked6d", block_w=args.block,
-                           superblock_nbytes=cache_size)
-    return make_layout(args.layout)
+        return ("blocked6d", args.block, cache_size)
+    return (args.layout,)
+
+
+def _trace_spec(args, record_positions: bool = False) -> TraceSpec:
+    return TraceSpec(
+        scene=args.scene, scale=args.scale, order=_order_spec(args, args.scene),
+        time=args.time, max_anisotropy=args.aniso, lod_bias=args.lod_bias,
+        use_mipmaps=not args.no_mipmaps, record_positions=record_positions,
+    )
 
 
 def _render(args) -> int:
-    scene = make_scene(args.scene).build(scale=args.scale, time=args.time)
-    order = _build_order(args, scene)
-    renderer = Renderer(order=order, produce_image=args.out is not None,
-                        max_anisotropy=args.aniso, lod_bias=args.lod_bias,
-                        use_mipmaps=not args.no_mipmaps)
-    result = renderer.render(scene)
+    engine = Engine()
+    spec = _trace_spec(args)
+    result = engine.render(spec, produce_image=args.out is not None)
     if args.out:
         if args.out.endswith(".ppm"):
             result.framebuffer.to_ppm(args.out)
@@ -109,30 +127,28 @@ def _render(args) -> int:
             result.framebuffer.to_png(args.out)
         print(f"wrote {args.out}")
     if args.save_trace:
-        from .pipeline.traceio import save_trace
-        save_trace(args.save_trace, result.trace)
+        result.trace.save(args.save_trace)
         print(f"wrote {args.save_trace}")
+    scene = engine.scene(args.scene, args.scale, args.time)
     print(f"{scene.name}: {scene.width}x{scene.height}, "
           f"{result.n_triangles_rasterized}/{result.n_triangles_submitted} "
           f"triangles rasterized, {result.n_fragments:,} fragments, "
-          f"{result.n_accesses:,} texel fetches ({order.name} order)")
+          f"{result.trace.n_accesses:,} texel fetches "
+          f"({order_from_spec(spec.order).name} order)")
     return 0
 
 
 def _simulate(args) -> int:
-    scene = make_scene(args.scene).build(scale=args.scale, time=args.time)
-    order = _build_order(args, scene)
-    result = Renderer(order=order, produce_image=False,
-                      max_anisotropy=args.aniso, lod_bias=args.lod_bias,
-                      use_mipmaps=not args.no_mipmaps).render(scene)
-    layout = _build_layout(args, cache_size=args.cache_size)
-    placements = place_textures(scene.get_mipmaps(), layout)
-    addresses = result.trace.byte_addresses(placements)
+    engine = Engine()
+    spec = _trace_spec(args)
+    layout_spec = _layout_spec(args, cache_size=args.cache_size)
+    addresses = engine.addresses(spec, layout_spec)
     config = CacheConfig(args.cache_size, args.line_size,
                          None if args.assoc == 0 else args.assoc)
     stats = classify_misses(addresses, config)
     bandwidth = cached_bandwidth(stats.miss_rate, args.line_size)
-    print(f"{scene.name} / {layout.name} / {order.name} / {config.label()}")
+    print(f"{args.scene} / {layout_from_spec(layout_spec).name} / "
+          f"{order_from_spec(spec.order).name} / {config.label()}")
     print(f"  accesses        {stats.accesses:,}")
     print(f"  miss rate       {100 * stats.miss_rate:.3f}%")
     print(f"  cold misses     {stats.cold_misses:,}")
@@ -145,37 +161,40 @@ def _simulate(args) -> int:
 
 
 def _sweep(args) -> int:
-    scene = make_scene(args.scene).build(scale=args.scale, time=args.time)
-    order = _build_order(args, scene)
-    result = Renderer(order=order, produce_image=False).render(scene)
-    layout = _build_layout(args)
-    placements = place_textures(scene.get_mipmaps(), layout)
-    addresses = result.trace.byte_addresses(placements)
+    engine = Engine()
+    spec = _trace_spec(args)
+    layout_spec = _layout_spec(args)
+    layout_name = layout_from_spec(layout_spec).name
+    grid = dict(scenes=(args.scene,), orders=(spec.order,),
+                layouts=(layout_spec,), scale=args.scale, time=args.time,
+                max_anisotropy=args.aniso, lod_bias=args.lod_bias,
+                use_mipmaps=not args.no_mipmaps)
 
     if args.axis == "cache":
-        curve = miss_rate_curve(addresses, args.line_size, PAPER_CACHE_SIZES)
-        rows = [[f"{int(s) // 1024}KB", f"{100 * r:.3f}%"]
-                for s, r in zip(curve.sizes, curve.miss_rates)]
+        result = engine.run(ExperimentSpec(
+            cache_sizes=PAPER_CACHE_SIZES, line_sizes=(args.line_size,), **grid))
+        rows = [[f"{row.config.size // 1024}KB",
+                 f"{100 * row.stats.miss_rate:.3f}%"] for row in result.rows]
         print(format_table(["cache size", "miss rate"], rows,
-                           title=f"{scene.name}, {layout.name}, fully associative, "
+                           title=f"{args.scene}, {layout_name}, fully associative, "
                                  f"{args.line_size}B lines"))
     elif args.axis == "line":
-        rows = []
-        for line in (16, 32, 64, 128, 256):
-            curve = miss_rate_curve(addresses, line, [args.cache_size])
-            rows.append([f"{line}B", f"{100 * curve.miss_rates[0]:.3f}%"])
+        result = engine.run(ExperimentSpec(
+            cache_sizes=(args.cache_size,), line_sizes=(16, 32, 64, 128, 256),
+            **grid))
+        rows = [[f"{row.config.line_size}B",
+                 f"{100 * row.stats.miss_rate:.3f}%"] for row in result.rows]
         print(format_table(["line size", "miss rate"], rows,
-                           title=f"{scene.name}, {layout.name}, "
+                           title=f"{args.scene}, {layout_name}, "
                                  f"{args.cache_size // 1024}KB fully associative"))
     else:  # assoc
-        rows = []
-        for assoc in (1, 2, 4, 8, None):
-            config = CacheConfig(args.cache_size, args.line_size, assoc)
-            stats = simulate(addresses, config)
-            label = "full" if assoc is None else f"{assoc}-way"
-            rows.append([label, f"{100 * stats.miss_rate:.3f}%"])
+        result = engine.run(ExperimentSpec(
+            cache_sizes=(args.cache_size,), line_sizes=(args.line_size,),
+            assocs=(1, 2, 4, 8, None), **grid))
+        rows = [["full" if row.config.assoc is None else f"{row.config.assoc}-way",
+                 f"{100 * row.stats.miss_rate:.3f}%"] for row in result.rows]
         print(format_table(["associativity", "miss rate"], rows,
-                           title=f"{scene.name}, {layout.name}, "
+                           title=f"{args.scene}, {layout_name}, "
                                  f"{args.cache_size // 1024}KB, "
                                  f"{args.line_size}B lines"))
     return 0
@@ -185,18 +204,19 @@ def _parallel(args) -> int:
     from .core.parallel import (
         ScanlineInterleave, StripSplit, TileInterleave, simulate_parallel,
     )
-    scene = make_scene(args.scene).build(scale=args.scale, time=args.time)
-    order = _build_order(args, scene)
-    renderer = Renderer(order=order, produce_image=False, record_positions=True)
-    trace = renderer.render(scene).trace
-    layout = _build_layout(args, cache_size=args.cache_size)
-    placements = place_textures(scene.get_mipmaps(), layout)
+    engine = Engine()
+    spec = _trace_spec(args, record_positions=True)
+    trace = engine.trace(spec)
+    layout_spec = _layout_spec(args, cache_size=args.cache_size)
+    placements = engine.placements(args.scene, args.scale, layout_spec,
+                                   time=args.time)
+    height = engine.scene(args.scene, args.scale, args.time).height
     config = CacheConfig(args.cache_size, args.line_size, 2)
     rows = []
     for distribution in (ScanlineInterleave(args.generators),
                          TileInterleave(args.generators, tile=8),
                          TileInterleave(args.generators, tile=32),
-                         StripSplit(args.generators, height=scene.height)):
+                         StripSplit(args.generators, height=height)):
         stats = simulate_parallel(trace, placements, distribution, config)
         rows.append([
             distribution.name,
@@ -208,7 +228,7 @@ def _parallel(args) -> int:
     print(format_table(
         ["distribution", "miss rate", "redundancy", "imbalance", "shared BW"],
         rows,
-        title=(f"{scene.name}: {args.generators} generators, private "
+        title=(f"{args.scene}: {args.generators} generators, private "
                f"{config.label()} caches"),
     ))
     return 0
@@ -217,23 +237,39 @@ def _parallel(args) -> int:
 def _hierarchy(args) -> int:
     from .core.hierarchy import hierarchy_bandwidths, simulate_hierarchy
     from .core.machine import PAPER_MACHINE
-    scene = make_scene(args.scene).build(scale=args.scale, time=args.time)
-    order = _build_order(args, scene)
-    result = Renderer(order=order, produce_image=False).render(scene)
-    layout = _build_layout(args, cache_size=args.l2_size)
-    placements = place_textures(scene.get_mipmaps(), layout)
-    addresses = result.trace.byte_addresses(placements)
+    engine = Engine()
+    spec = _trace_spec(args)
+    layout_spec = _layout_spec(args, cache_size=args.l2_size)
+    addresses = engine.addresses(spec, layout_spec)
     configs = [CacheConfig(args.l1_size, 32, 2),
                CacheConfig(args.l2_size, args.line_size, 2)]
     stats = simulate_hierarchy(addresses, configs)
     bandwidths = hierarchy_bandwidths(stats, PAPER_MACHINE)
-    print(f"{scene.name} / {layout.name} / L1 {configs[0].label()} "
-          f"+ L2 {configs[1].label()}")
+    print(f"{args.scene} / {layout_from_spec(layout_spec).name} / "
+          f"L1 {configs[0].label()} + L2 {configs[1].label()}")
     for level, (level_stats, bandwidth) in enumerate(zip(stats.levels, bandwidths)):
         boundary = "DRAM" if level == len(bandwidths) - 1 else f"L{level + 2}"
         print(f"  L{level + 1}: local miss {100 * level_stats.miss_rate:.3f}%  "
               f"-> {boundary} traffic {bandwidth / 2**20:.0f} MB/s")
     print(f"  memory miss rate {100 * stats.memory_miss_rate:.3f}% of all accesses")
+    return 0
+
+
+def _cache(args) -> int:
+    store = ArtifactStore(args.dir) if args.dir else ArtifactStore()
+    if args.action == "stats":
+        report = store.stats()
+        rows = [[kind, entry["files"], f"{entry['bytes'] / 2**20:.2f} MB"]
+                for kind, entry in report["kinds"].items()]
+        rows.append(["total", report["total_files"],
+                     f"{report['total_bytes'] / 2**20:.2f} MB"])
+        print(format_table(["artifact kind", "files", "size"], rows,
+                           title=f"artifact store at {report['root']}"))
+    else:  # clear
+        report = store.clear()
+        print(f"cleared {report['total_files']} artifacts "
+              f"({report['total_bytes'] / 2**20:.2f} MB) "
+              f"from {report['root']}")
     return 0
 
 
@@ -260,7 +296,7 @@ def _costs(args) -> int:
     print(format_table(
         ["phase", "add/sub", "shift", "mult", "div", "mem accesses"],
         rows, title="Table 2.1: fragment generator costs"))
-    layout = _build_layout(args)
+    layout = layout_from_spec(_layout_spec(args))
     total = fragment_cost(layout)
     print(f"\nper-fragment total with {layout.name} addressing: "
           f"{total.adds} adds, {total.shifts} shifts, {total.multiplies} mults, "
@@ -317,6 +353,15 @@ def build_parser() -> argparse.ArgumentParser:
     hierarchy.add_argument("--l2-size", type=int, default=32 * 1024)
     hierarchy.add_argument("--line-size", type=int, default=128)
     hierarchy.set_defaults(func=_hierarchy)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or clear the shared artifact store")
+    cache.add_argument("action", choices=["stats", "clear"],
+                       help="stats = per-kind counts/sizes; clear = delete all")
+    cache.add_argument("--dir", default=None,
+                       help="store directory (default: REPRO_CACHE_DIR or "
+                            "benchmarks/.cache)")
+    cache.set_defaults(func=_cache)
 
     scenes = subparsers.add_parser("scenes", help="list benchmark scenes")
     scenes.set_defaults(func=_scenes)

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..pipeline.trace import TexelTrace
+from ..texture.memory import AddressMapper
 from .cache import CacheConfig, simulate, to_lines
 from .machine import PAPER_MACHINE, MachineModel
 
@@ -161,20 +162,28 @@ def simulate_parallel(
     one generator; the excess is traffic the single-generator system
     would not have paid.
     """
-    subtraces = split_trace(trace, distribution)
+    if not trace.has_positions:
+        raise ValueError(
+            "trace lacks screen positions; render with record_positions=True")
+    # Map the whole frame once (one grouping pass), then carve out each
+    # generator's stream: the per-access addresses are identical however
+    # the work is distributed.
+    mapped = AddressMapper(placements).map_trace(trace)
+    owner = distribution.assign(trace.x, trace.y)
     stats = []
     distinct_union = set()
     distinct_sum = 0
     fragments = np.zeros(distribution.n_generators, dtype=np.int64)
-    for index, subtrace in enumerate(subtraces):
-        addresses = subtrace.byte_addresses(placements)
+    for index in range(distribution.n_generators):
+        mask = owner == index
+        addresses = mapped[mask].reshape(-1)
         stats.append(simulate(addresses, config))
         lines = np.unique(to_lines(addresses, config.line_size))
         distinct_sum += len(lines)
         distinct_union.update(lines.tolist())
         # Eight accesses per trilinear fragment; bilinear fragments
         # contribute four -- fragment share approximated by accesses.
-        fragments[index] = subtrace.n_accesses
+        fragments[index] = int(np.count_nonzero(mask))
     redundancy = distinct_sum / max(len(distinct_union), 1)
     return ParallelStats(
         distribution=distribution.name,

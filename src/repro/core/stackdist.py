@@ -147,15 +147,22 @@ def miss_rate_curve(trace, line_size: int, cache_sizes) -> MissRateCurve:
     """Fully-associative LRU miss rates for every size in
     ``cache_sizes`` (bytes), from a single stack-distance pass.
 
-    ``trace`` is a byte-address array or a :class:`LineStream`.
+    ``trace`` is a byte-address array, a :class:`LineStream`, or any
+    object with ``stream(line_size)``/``profile(line_size)`` memoizers
+    (:class:`~repro.core.sweep.TraceStreams`), in which case the
+    memoized -- possibly store-backed -- profile is reused instead of
+    recomputed.
     """
-    if isinstance(trace, LineStream):
-        if trace.line_size != line_size:
-            raise ValueError("LineStream line size mismatch")
-        stream = trace
+    if hasattr(trace, "profile") and hasattr(trace, "stream"):
+        profile = trace.profile(line_size)
     else:
-        stream = LineStream.from_addresses(trace, line_size)
-    profile = DistanceProfile.from_stream(stream)
+        if isinstance(trace, LineStream):
+            if trace.line_size != line_size:
+                raise ValueError("LineStream line size mismatch")
+            stream = trace
+        else:
+            stream = LineStream.from_addresses(trace, line_size)
+        profile = DistanceProfile.from_stream(stream)
     sizes = np.asarray(sorted(cache_sizes), dtype=np.int64)
     rates = np.array([
         profile.miss_rate_at(max(int(size) // line_size, 1)) for size in sizes

@@ -62,7 +62,7 @@ def sweep_cache_sizes(
     streams = trace if isinstance(trace, TraceStreams) else TraceStreams(np.asarray(trace))
     stream = streams.stream(line_size)
     if assoc is None:
-        curve = miss_rate_curve(stream, line_size, cache_sizes)
+        curve = miss_rate_curve(streams, line_size, cache_sizes)
         return curve.as_stats()
     stats = []
     for size in sorted(cache_sizes):
@@ -93,4 +93,4 @@ def fully_associative_curve(
 ) -> MissRateCurve:
     """The miss-rate-versus-size curve for a fully-associative cache."""
     streams = trace if isinstance(trace, TraceStreams) else TraceStreams(np.asarray(trace))
-    return miss_rate_curve(streams.stream(line_size), line_size, cache_sizes)
+    return miss_rate_curve(streams, line_size, cache_sizes)

@@ -1,0 +1,227 @@
+"""Content-addressed on-disk artifact store.
+
+Every stage of the render -> trace -> simulate pipeline is a pure
+function of its inputs, so each intermediate can be cached on disk and
+shared by every process that asks for the same inputs: benchmark
+sessions, the CLI and the examples all hit one store instead of
+re-rendering per process.
+
+Artifacts are addressed by a SHA-256 fingerprint of a canonical JSON
+payload describing *all* the inputs of the stage -- scene name,
+reproduction scale, animation time, traversal-order spec, filtering
+options, layout spec and a pipeline version stamp -- so artifacts
+produced by an older pipeline (or different parameters) simply never
+match and stale data self-invalidates.  Three artifact kinds exist:
+
+``traces/``
+    Rendered :class:`~repro.pipeline.trace.TexelTrace` archives
+    (``.npz`` via :mod:`repro.pipeline.traceio`) plus a ``.json``
+    sidecar carrying the render counters and the human-readable key.
+``addresses/``
+    Per-layout byte-address streams (``.npy``).
+``profiles/``
+    LRU stack-distance summaries per line size (``.npz``).
+
+The root directory defaults to ``benchmarks/.cache/`` and is
+overridable with the ``REPRO_CACHE_DIR`` environment variable.  Writes
+are atomic (temp file + ``os.replace``), so concurrent processes --
+including the runner's multiprocessing workers -- can share a store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..core.stackdist import DistanceProfile
+from ..pipeline import traceio
+from ..pipeline.renderer import RenderResult
+from .spec import TraceSpec
+
+#: Stamped into every fingerprint; bump when any pipeline stage changes
+#: its output (renderer, layouts, trace format, ...) so every existing
+#: artifact self-invalidates.
+PIPELINE_VERSION = 1
+
+#: Artifact kinds, also the store's subdirectory names.
+KINDS = ("traces", "addresses", "profiles")
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``benchmarks/.cache`` in the
+    repository the package is installed from."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / "benchmarks" / ".cache"
+
+
+def fingerprint(payload: dict) -> str:
+    """SHA-256 of the canonical JSON encoding of ``payload`` (with the
+    pipeline version stamp mixed in)."""
+    record = dict(payload)
+    record["pipeline_version"] = PIPELINE_VERSION
+    record["trace_format"] = traceio.FORMAT_VERSION
+    canonical = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def addresses_payload(trace_spec: TraceSpec, layout_spec, alignment: int = 16) -> dict:
+    """Fingerprint payload for a byte-address stream."""
+    return {
+        "trace": trace_spec.payload(),
+        "layout": list(layout_spec),
+        "alignment": alignment,
+    }
+
+
+def profile_payload(address_payload: dict, line_size: int) -> dict:
+    """Fingerprint payload for a stack-distance profile."""
+    return {"addresses": address_payload, "line_size": line_size}
+
+
+def _atomic_write(path: Path, write) -> None:
+    """Call ``write(temp_path)`` then atomically move into place.
+
+    The temporary name keeps the real extension last so numpy's savers
+    (which append ``.npy``/``.npz`` to unrecognized names) write to the
+    exact path being renamed.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, temp_name = tempfile.mkstemp(dir=path.parent,
+                                             suffix=".tmp" + path.suffix)
+    os.close(descriptor)
+    try:
+        write(temp_name)
+        os.replace(temp_name, path)
+    except BaseException:
+        if os.path.exists(temp_name):
+            os.unlink(temp_name)
+        raise
+
+
+class ArtifactStore:
+    """Content-addressed cache of pipeline intermediates on disk."""
+
+    def __init__(self, root=None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def _path(self, kind: str, digest: str, suffix: str) -> Path:
+        return self.root / kind / (digest + suffix)
+
+    # -- rendered traces -------------------------------------------------
+
+    def load_render(self, spec: TraceSpec) -> Optional[RenderResult]:
+        """The cached render for ``spec``, or ``None`` on a miss.
+
+        Reconstructed results carry the trace and the triangle/fragment
+        counters; the framebuffer and per-triangle breakdown are only
+        available from a fresh render.
+        """
+        digest = fingerprint(spec.payload())
+        path = self._path("traces", digest, ".npz")
+        meta_path = self._path("traces", digest, ".json")
+        if not path.exists() or not meta_path.exists():
+            return None
+        try:
+            trace = traceio.load_trace(str(path))
+            meta = json.loads(meta_path.read_text())
+        except (ValueError, OSError, json.JSONDecodeError):
+            return None  # torn or foreign file: treat as a miss
+        return RenderResult(
+            trace=trace,
+            framebuffer=None,
+            n_fragments=trace.n_fragments,
+            n_triangles_submitted=meta["n_triangles_submitted"],
+            n_triangles_rasterized=meta["n_triangles_rasterized"],
+        )
+
+    def save_render(self, spec: TraceSpec, result: RenderResult) -> Path:
+        digest = fingerprint(spec.payload())
+        path = self._path("traces", digest, ".npz")
+        _atomic_write(path, lambda temp: traceio.save_trace(temp, result.trace))
+        meta = {
+            "key": spec.payload(),
+            "n_triangles_submitted": int(result.n_triangles_submitted),
+            "n_triangles_rasterized": int(result.n_triangles_rasterized),
+        }
+        _atomic_write(self._path("traces", digest, ".json"),
+                      lambda temp: Path(temp).write_text(json.dumps(meta, indent=1)))
+        return path
+
+    # -- byte-address streams --------------------------------------------
+
+    def load_addresses(self, payload: dict) -> Optional[np.ndarray]:
+        path = self._path("addresses", fingerprint(payload), ".npy")
+        if not path.exists():
+            return None
+        try:
+            return np.load(path)
+        except (ValueError, OSError):
+            return None
+
+    def save_addresses(self, payload: dict, addresses: np.ndarray) -> Path:
+        digest = fingerprint(payload)
+        path = self._path("addresses", digest, ".npy")
+        _atomic_write(path, lambda temp: np.save(temp, addresses))
+
+        def write_key(temp):
+            Path(temp).write_text(json.dumps({"key": payload}, indent=1))
+        _atomic_write(self._path("addresses", digest, ".json"), write_key)
+        return path
+
+    # -- stack-distance profiles -----------------------------------------
+
+    def load_profile(self, payload: dict) -> Optional[DistanceProfile]:
+        path = self._path("profiles", fingerprint(payload), ".npz")
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as archive:
+                counts = archive["counts"]
+                cold, duplicate_hits = archive["meta"].tolist()
+        except (ValueError, OSError, KeyError):
+            return None
+        return DistanceProfile(counts=counts, cold=int(cold),
+                               duplicate_hits=int(duplicate_hits))
+
+    def save_profile(self, payload: dict, profile: DistanceProfile) -> Path:
+        path = self._path("profiles", fingerprint(payload), ".npz")
+
+        def write(temp):
+            np.savez_compressed(
+                temp, counts=profile.counts,
+                meta=np.array([profile.cold, profile.duplicate_hits],
+                              dtype=np.int64))
+        _atomic_write(path, write)
+        return path
+
+    # -- maintenance -----------------------------------------------------
+
+    def stats(self) -> dict:
+        """Per-kind artifact counts and byte totals."""
+        report = {"root": str(self.root), "kinds": {}, "total_bytes": 0,
+                  "total_files": 0}
+        for kind in KINDS:
+            directory = self.root / kind
+            files = [f for f in directory.glob("*") if f.is_file()] \
+                if directory.is_dir() else []
+            nbytes = sum(f.stat().st_size for f in files)
+            report["kinds"][kind] = {"files": len(files), "bytes": nbytes}
+            report["total_files"] += len(files)
+            report["total_bytes"] += nbytes
+        return report
+
+    def clear(self) -> dict:
+        """Delete every artifact; returns the pre-clear :meth:`stats`."""
+        report = self.stats()
+        for kind in KINDS:
+            shutil.rmtree(self.root / kind, ignore_errors=True)
+        return report

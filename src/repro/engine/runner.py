@@ -1,0 +1,269 @@
+"""The shared experiment engine.
+
+One :class:`Engine` sits between every consumer (benchmark harnesses,
+the CLI, the examples) and the pipeline.  It deduplicates shared
+stages -- one render per (scene, order, filtering), one byte-address
+stream per layout, one collapsed :class:`~repro.core.sweep.LineStream`
+and stack-distance profile per line size -- first against in-memory
+memos, then against the on-disk :class:`~repro.engine.artifacts.ArtifactStore`,
+so warm processes perform zero renders.
+
+:func:`run_experiment` executes a declarative
+:class:`~repro.engine.spec.ExperimentSpec` grid through one engine,
+optionally fanning the expensive render/trace stage out across
+``multiprocessing`` workers that warm the shared store in parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.cache import CacheConfig, CacheStats, simulate
+from ..core.stackdist import DistanceProfile, miss_rate_curve
+from ..core.sweep import TraceStreams
+from ..pipeline.renderer import Renderer, RenderResult
+from ..scenes import ALL_SCENES
+from ..texture.memory import place_textures
+from .artifacts import ArtifactStore, addresses_payload, profile_payload
+from .spec import ExperimentSpec, TraceSpec, layout_from_spec, order_from_spec
+
+#: Number of actual scene renders performed by this process (cache
+#: misses only).  Tests assert warm runs leave this untouched.
+RENDER_CALLS = 0
+
+
+def render_calls() -> int:
+    """Scene renders performed by this process so far."""
+    return RENDER_CALLS
+
+
+def reset_render_calls() -> None:
+    global RENDER_CALLS
+    RENDER_CALLS = 0
+
+
+class StoredTraceStreams(TraceStreams):
+    """:class:`TraceStreams` whose distance profiles round-trip through
+    the artifact store (computed once per store, not once per
+    process)."""
+
+    def __init__(self, addresses, store: Optional[ArtifactStore] = None,
+                 key_payload: Optional[dict] = None):
+        super().__init__(addresses)
+        self._store = store
+        self._key_payload = key_payload
+
+    def profile(self, line_size: int) -> DistanceProfile:
+        if line_size not in self._profiles:
+            cached = None
+            if self._store is not None and self._key_payload is not None:
+                payload = profile_payload(self._key_payload, line_size)
+                cached = self._store.load_profile(payload)
+            if cached is None:
+                cached = DistanceProfile.from_stream(self.stream(line_size))
+                if self._store is not None and self._key_payload is not None:
+                    self._store.save_profile(payload, cached)
+            self._profiles[line_size] = cached
+        return self._profiles[line_size]
+
+
+class Engine:
+    """Memoized, store-backed access to every pipeline stage."""
+
+    def __init__(self, store: Optional[ArtifactStore] = None):
+        self.store = store if store is not None else ArtifactStore()
+        self._scenes = {}
+        self._renders = {}
+        self._placements = {}
+        self._streams = {}
+
+    # -- scene construction (cheap, never persisted) ---------------------
+
+    def scene(self, name: str, scale: float, time: float = 0.0):
+        """The built :class:`~repro.scenes.base.SceneData`, memoized."""
+        key = (name, scale, time)
+        if key not in self._scenes:
+            self._scenes[key] = ALL_SCENES[name]().build(scale=scale, time=time)
+        return self._scenes[key]
+
+    # -- renders ---------------------------------------------------------
+
+    def render(self, spec: TraceSpec, produce_image: bool = False) -> RenderResult:
+        """The render for ``spec``: memoized, then store-backed, then
+        fresh.  ``produce_image=True`` always renders (framebuffers are
+        not cached) but still persists the trace for later warm runs."""
+        if produce_image:
+            result = self._render_fresh(spec, produce_image=True)
+            self.store.save_render(spec, result)
+            return result
+        if spec not in self._renders:
+            result = self.store.load_render(spec)
+            if result is None:
+                result = self._render_fresh(spec, produce_image=False)
+                self.store.save_render(spec, result)
+            self._renders[spec] = result
+        return self._renders[spec]
+
+    def _render_fresh(self, spec: TraceSpec, produce_image: bool) -> RenderResult:
+        global RENDER_CALLS
+        scene = self.scene(spec.scene, spec.scale, spec.time)
+        renderer = Renderer(
+            order=order_from_spec(spec.order),
+            produce_image=produce_image,
+            record_positions=spec.record_positions,
+            max_anisotropy=spec.max_anisotropy,
+            lod_bias=spec.lod_bias,
+            use_mipmaps=spec.use_mipmaps,
+        )
+        RENDER_CALLS += 1
+        return renderer.render(scene)
+
+    def trace(self, spec: TraceSpec):
+        return self.render(spec).trace
+
+    # -- placements and address streams ----------------------------------
+
+    def placements(self, scene: str, scale: float, layout_spec,
+                   time: float = 0.0) -> list:
+        """Placed textures for (scene, layout), memoized."""
+        key = (scene, scale, time, tuple(layout_spec))
+        if key not in self._placements:
+            built = self.scene(scene, scale, time)
+            self._placements[key] = place_textures(
+                built.get_mipmaps(), layout_from_spec(layout_spec))
+        return self._placements[key]
+
+    def addresses(self, trace_spec: TraceSpec, layout_spec) -> np.ndarray:
+        """The byte-address stream for (trace, layout).  Warm hits load
+        the stream directly, without building the scene or rendering."""
+        return self.streams(trace_spec, layout_spec).addresses
+
+    def streams(self, trace_spec: TraceSpec, layout_spec) -> StoredTraceStreams:
+        """Store-backed :class:`TraceStreams` for (trace, layout)."""
+        key = (trace_spec, tuple(layout_spec))
+        if key not in self._streams:
+            payload = addresses_payload(trace_spec, layout_spec)
+            addresses = self.store.load_addresses(payload)
+            if addresses is None:
+                addresses = self.trace(trace_spec).byte_addresses(
+                    self.placements(trace_spec.scene, trace_spec.scale,
+                                    layout_spec, trace_spec.time))
+                self.store.save_addresses(payload, addresses)
+            self._streams[key] = StoredTraceStreams(
+                addresses, store=self.store, key_payload=payload)
+        return self._streams[key]
+
+    # -- experiment execution --------------------------------------------
+
+    def run(self, experiment: ExperimentSpec, workers: int = 0) -> "ExperimentResult":
+        """Execute every cell of ``experiment``.
+
+        ``workers > 1`` warms the store's render/address/profile
+        artifacts with a multiprocessing pool first (one task per
+        scene/order/layout), then assembles results from the warm
+        store in this process.
+        """
+        if workers and workers > 1:
+            self._warm_parallel(experiment, workers)
+        rows = []
+        for trace_spec in experiment.trace_specs():
+            for layout_spec in experiment.layouts:
+                streams = self.streams(trace_spec, layout_spec)
+                for line_size in experiment.line_sizes:
+                    for assoc in experiment.assocs:
+                        rows.extend(self._sweep_sizes(
+                            trace_spec, layout_spec, streams, line_size,
+                            assoc, experiment.cache_sizes))
+        return ExperimentResult(spec=experiment, rows=rows)
+
+    def _sweep_sizes(self, trace_spec, layout_spec, streams, line_size,
+                     assoc, cache_sizes) -> list:
+        rows = []
+        if assoc is None:
+            curve = miss_rate_curve(streams, line_size, sorted(cache_sizes))
+            for stats in curve.as_stats():
+                rows.append(ExperimentRow(
+                    scene=trace_spec.scene, order=trace_spec.order,
+                    layout=tuple(layout_spec), stats=stats))
+        else:
+            stream = streams.stream(line_size)
+            for size in sorted(cache_sizes):
+                config = CacheConfig(int(size), line_size, assoc)
+                rows.append(ExperimentRow(
+                    scene=trace_spec.scene, order=trace_spec.order,
+                    layout=tuple(layout_spec), stats=simulate(stream, config)))
+        return rows
+
+    def _warm_parallel(self, experiment: ExperimentSpec, workers: int) -> None:
+        import multiprocessing
+
+        tasks = [(str(self.store.root), trace_spec, tuple(layout_spec),
+                  tuple(experiment.line_sizes))
+                 for trace_spec, layout_spec in experiment.stream_specs()]
+        with multiprocessing.Pool(processes=min(workers, len(tasks))) as pool:
+            pool.map(_warm_task, tasks)
+
+
+def _warm_task(task) -> None:
+    """Worker: populate the shared store for one (trace, layout) pair."""
+    root, trace_spec, layout_spec, line_sizes = task
+    engine = Engine(store=ArtifactStore(root))
+    streams = engine.streams(trace_spec, layout_spec)
+    for line_size in line_sizes:
+        streams.profile(line_size)
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One grid cell's result."""
+
+    scene: str
+    order: tuple
+    layout: tuple
+    stats: CacheStats
+
+    @property
+    def config(self) -> CacheConfig:
+        return self.stats.config
+
+
+@dataclass
+class ExperimentResult:
+    """All cells of one executed :class:`ExperimentSpec`."""
+
+    spec: ExperimentSpec
+    rows: list
+
+    def select(self, **criteria) -> list:
+        """Rows matching the given field/config values, e.g.
+        ``select(scene="town", line_size=64)``."""
+        config_fields = {"cache_size": "size", "line_size": "line_size",
+                         "assoc": "assoc"}
+        matched = []
+        for row in self.rows:
+            keep = True
+            for name, wanted in criteria.items():
+                if name in config_fields:
+                    value = getattr(row.config, config_fields[name])
+                else:
+                    value = getattr(row, name)
+                if value != wanted:
+                    keep = False
+                    break
+            if keep:
+                matched.append(row)
+        return matched
+
+
+def run_experiment(experiment: ExperimentSpec,
+                   store: Optional[ArtifactStore] = None,
+                   engine: Optional[Engine] = None,
+                   workers: int = 0) -> ExperimentResult:
+    """Convenience wrapper: run ``experiment`` on ``engine`` (or a
+    fresh one over ``store``)."""
+    if engine is None:
+        engine = Engine(store=store)
+    return engine.run(experiment, workers=workers)

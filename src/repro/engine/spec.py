@@ -1,0 +1,168 @@
+"""Declarative experiment specifications.
+
+The paper's studies are all grids: scenes x rasterization orders x
+memory representations x cache configurations.  Before this layer every
+consumer (the benchmark harnesses, the CLI, the examples) walked its
+own ad-hoc loops and re-rendered shared stages.  An
+:class:`ExperimentSpec` names the grid once; the engine runner then
+plans the unique renders, address streams and distance profiles the
+grid needs and reuses each of them across every cell.
+
+Specs are hashable value objects built from plain tuples so they can
+key both the in-memory memos and the on-disk artifact store:
+
+* an *order spec* is a tuple such as ``("horizontal",)``,
+  ``("tiled", 8)``, ``("tiled", 8, "col", "col")`` or
+  ``("hilbert", 11)``;
+* a *layout spec* is a tuple such as ``("nonblocked",)``,
+  ``("blocked", 8)``, ``("padded", 8, 4)``,
+  ``("blocked6d", 8, 32768)`` or ``("williams",)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from ..core.sweep import PAPER_CACHE_SIZES
+from ..raster.order import TraversalOrder, make_order
+from ..scenes import ALL_SCENES
+from ..texture.layout import TextureLayout, make_layout
+
+
+def order_from_spec(spec) -> TraversalOrder:
+    """Build a :class:`TraversalOrder` from a hashable spec tuple."""
+    name = spec[0]
+    if name == "tiled":
+        kwargs = {"tile_w": spec[1]}
+        if len(spec) > 2:
+            kwargs["within"] = spec[2]
+            kwargs["across"] = spec[3]
+        return make_order("tiled", **kwargs)
+    if name == "hilbert":
+        return make_order("hilbert", order_bits=spec[1])
+    return make_order(name)
+
+
+def layout_from_spec(spec) -> TextureLayout:
+    """Build a :class:`TextureLayout` from a hashable spec tuple."""
+    name = spec[0]
+    if name == "blocked":
+        return make_layout("blocked", block_w=spec[1])
+    if name == "padded":
+        return make_layout("padded", block_w=spec[1], pad_blocks=spec[2])
+    if name == "blocked6d":
+        return make_layout("blocked6d", block_w=spec[1], superblock_nbytes=spec[2])
+    return make_layout(name)
+
+
+def paper_order_spec(scene: str) -> tuple:
+    """The rasterization direction the paper reports for ``scene``."""
+    return (ALL_SCENES[scene].paper_rasterization,)
+
+
+def resolve_order_spec(scene: str, order) -> tuple:
+    """Normalize an order spec; ``"paper"`` resolves per scene."""
+    if order is None or order == "paper" or order == ("paper",):
+        return paper_order_spec(scene)
+    return tuple(order)
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Everything that determines one rendered texel trace.
+
+    Two specs that compare equal produce bit-identical traces, so the
+    spec (plus the pipeline version stamp) is the artifact-store
+    fingerprint for the render stage.
+    """
+
+    scene: str
+    scale: float
+    order: tuple
+    time: float = 0.0
+    max_anisotropy: int = 1
+    lod_bias: float = 0.0
+    use_mipmaps: bool = True
+    record_positions: bool = False
+
+    def __post_init__(self):
+        if self.scene not in ALL_SCENES:
+            raise ValueError(f"unknown scene {self.scene!r}")
+        object.__setattr__(self, "order",
+                           resolve_order_spec(self.scene, self.order))
+
+    def payload(self) -> dict:
+        """JSON-serializable fingerprint payload."""
+        record = {f.name: getattr(self, f.name) for f in fields(self)}
+        record["order"] = list(self.order)
+        return record
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A sweep grid: scenes x orders x layouts x cache configurations.
+
+    ``orders`` may contain the string ``"paper"`` (or the tuple
+    ``("paper",)``), which resolves per scene to the direction the
+    paper reports.  ``assocs`` entries follow
+    :class:`~repro.core.cache.CacheConfig`: an integer number of ways,
+    or ``None`` for fully associative (swept with one stack-distance
+    pass per line size instead of one simulation per cache size).
+    """
+
+    scenes: tuple
+    layouts: tuple
+    orders: tuple = ("paper",)
+    cache_sizes: tuple = PAPER_CACHE_SIZES
+    line_sizes: tuple = (64,)
+    assocs: tuple = (None,)
+    scale: float = 0.25
+    time: float = 0.0
+    max_anisotropy: int = 1
+    lod_bias: float = 0.0
+    use_mipmaps: bool = True
+
+    def __post_init__(self):
+        for attribute in ("scenes", "layouts", "orders", "cache_sizes",
+                          "line_sizes", "assocs"):
+            value = getattr(self, attribute)
+            coerced = tuple(value) if not isinstance(value, tuple) else value
+            if not coerced:
+                raise ValueError(f"{attribute} must be non-empty")
+            object.__setattr__(self, attribute, coerced)
+        for scene in self.scenes:
+            if scene not in ALL_SCENES:
+                raise ValueError(f"unknown scene {scene!r}")
+        for layout in self.layouts:
+            layout_from_spec(layout)  # validates eagerly
+
+    def trace_spec(self, scene: str, order) -> TraceSpec:
+        return TraceSpec(
+            scene=scene, scale=self.scale,
+            order=resolve_order_spec(scene, order), time=self.time,
+            max_anisotropy=self.max_anisotropy, lod_bias=self.lod_bias,
+            use_mipmaps=self.use_mipmaps,
+        )
+
+    def trace_specs(self) -> list:
+        """The deduplicated renders the grid needs (one per
+        scene/order; ``"paper"`` aliases collapse onto their
+        resolution)."""
+        unique = []
+        for scene in self.scenes:
+            for order in self.orders:
+                spec = self.trace_spec(scene, order)
+                if spec not in unique:
+                    unique.append(spec)
+        return unique
+
+    def stream_specs(self) -> list:
+        """Deduplicated ``(trace_spec, layout_spec)`` pairs."""
+        return [(trace_spec, layout)
+                for trace_spec in self.trace_specs()
+                for layout in self.layouts]
+
+    @property
+    def n_cells(self) -> int:
+        return (len(self.stream_specs()) * len(self.line_sizes)
+                * len(self.cache_sizes) * len(self.assocs))

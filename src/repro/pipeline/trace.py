@@ -14,10 +14,12 @@ order.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from ..texture.filtering import KIND_BILINEAR, KIND_LOWER, KIND_UPPER, TexelAccesses
+from ..texture.memory import AddressMapper
 
 
 @dataclass
@@ -41,8 +43,8 @@ class TexelTrace:
     #: Optional per-access screen position of the owning fragment
     #: (recorded when the renderer is asked to; needed by the parallel
     #: fragment-generator study in :mod:`repro.core.parallel`).
-    x: np.ndarray = None
-    y: np.ndarray = None
+    x: Optional[np.ndarray] = None
+    y: Optional[np.ndarray] = None
 
     @property
     def n_accesses(self) -> int:
@@ -58,25 +60,32 @@ class TexelTrace:
         """
         if self.n_accesses == 0:
             return np.empty(0, dtype=np.int64)
-        k = placements[0].layout.accesses_per_texel
-        shape = (self.n_accesses,) if k == 1 else (self.n_accesses, k)
-        addresses = np.empty(shape, dtype=np.int64)
-        pair_key = self.texture_id.astype(np.int64) * 64 + self.level
-        for key in np.unique(pair_key):
-            texture = int(key) // 64
-            level = int(key) % 64
-            rows = np.nonzero(pair_key == key)[0]
-            addresses[rows] = placements[texture].addresses(
-                level, self.tu[rows], self.tv[rows]
-            )
-        return addresses.ravel()
+        return AddressMapper(placements).map_trace(self).reshape(-1)
 
     @property
     def has_positions(self) -> bool:
         return self.x is not None
 
+    def save(self, path: str) -> None:
+        """Persist this trace (see :mod:`repro.pipeline.traceio`)."""
+        from .traceio import save_trace
+        save_trace(path, self)
+
+    @classmethod
+    def load(cls, path: str) -> "TexelTrace":
+        """Load a trace written by :meth:`save`/:func:`save_trace`."""
+        from .traceio import load_trace
+        return load_trace(path)
+
     def slice(self, start: int, stop: int) -> "TexelTrace":
-        """A sub-trace (used by tests)."""
+        """A sub-trace of accesses ``[start, stop)`` (used by tests).
+
+        ``n_fragments`` is carried over *unscaled*: the trace does not
+        record fragment boundaries, so the slice cannot know how many
+        fragments its accesses span.  Treat the field as the frame
+        total, not a per-slice count; :meth:`subset` accepts an
+        explicit ``n_fragments`` when the caller knows better.
+        """
         return TexelTrace(
             texture_id=self.texture_id[start:stop],
             level=self.level[start:stop],
@@ -90,7 +99,8 @@ class TexelTrace:
             y=None if self.y is None else self.y[start:stop],
         )
 
-    def subset(self, mask: np.ndarray, n_fragments: int = None) -> "TexelTrace":
+    def subset(self, mask: np.ndarray,
+               n_fragments: Optional[int] = None) -> "TexelTrace":
         """The sub-trace selected by a boolean ``mask``, order
         preserved (used to split work among parallel generators)."""
         return TexelTrace(

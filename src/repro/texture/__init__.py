@@ -15,7 +15,7 @@ from .layout import (
     WilliamsLayout,
     make_layout,
 )
-from .memory import PlacedTexture, TextureMemory, place_textures
+from .memory import AddressMapper, PlacedTexture, TextureMemory, place_textures
 from .filtering import (
     KIND_BILINEAR,
     KIND_LOWER,
@@ -52,6 +52,7 @@ __all__ = [
     "PlacedLevel",
     "TexturePlan",
     "make_layout",
+    "AddressMapper",
     "PlacedTexture",
     "TextureMemory",
     "place_textures",

@@ -88,6 +88,57 @@ class TextureMemory:
         return placed
 
 
+#: Stride separating texture ids in the packed (texture, level) group
+#: key; mip chains never exceed 64 levels.
+_LEVEL_STRIDE = 64
+
+
+class AddressMapper:
+    """Vectorized (texture id, level, tu, tv) -> byte-address mapping.
+
+    Groups accesses by (texture, level) with a single stable argsort --
+    one O(n log n) pass regardless of how many (texture, level) pairs
+    the trace touches -- and dispatches each group to its placement's
+    layout formula.  Shared by
+    :meth:`repro.pipeline.trace.TexelTrace.byte_addresses` and the
+    :mod:`repro.core` callers that remap sub-traces, so the grouping
+    logic lives in exactly one place.
+    """
+
+    def __init__(self, placements):
+        self.placements = list(placements)
+        self.accesses_per_texel = (
+            self.placements[0].layout.accesses_per_texel
+            if self.placements else 1)
+
+    def map(self, texture_id: np.ndarray, level: np.ndarray,
+            tu: np.ndarray, tv: np.ndarray) -> np.ndarray:
+        """Byte addresses in input order; shape ``(n,)`` or ``(n, k)``
+        for layouts needing ``k`` accesses per texel."""
+        n = len(texture_id)
+        k = self.accesses_per_texel
+        addresses = np.empty((n,) if k == 1 else (n, k), dtype=np.int64)
+        if n == 0:
+            return addresses
+        group_key = texture_id.astype(np.int64) * _LEVEL_STRIDE + level
+        order = np.argsort(group_key, kind="stable")
+        sorted_key = group_key[order]
+        starts = np.flatnonzero(
+            np.concatenate(([True], sorted_key[1:] != sorted_key[:-1])))
+        bounds = np.append(starts, n)
+        for begin, end in zip(bounds[:-1], bounds[1:]):
+            rows = order[begin:end]
+            texture, level_index = divmod(int(sorted_key[begin]), _LEVEL_STRIDE)
+            addresses[rows] = self.placements[texture].addresses(
+                level_index, tu[rows], tv[rows])
+        return addresses
+
+    def map_trace(self, trace) -> np.ndarray:
+        """Map a :class:`~repro.pipeline.trace.TexelTrace` (or any
+        object with the same columns), keeping the per-texel shape."""
+        return self.map(trace.texture_id, trace.level, trace.tu, trace.tv)
+
+
 def place_textures(mipmaps, layout: TextureLayout, alignment: int = 16) -> list:
     """Place every pyramid in ``mipmaps`` into a fresh address space.
 

@@ -1,0 +1,25 @@
+"""Shared test wiring: keep the artifact store out of the repo tree.
+
+Every :class:`~repro.engine.Engine` (and therefore every SceneBank and
+CLI invocation under test) resolves its default store root through
+``REPRO_CACHE_DIR``.  Point it at a session-scoped temporary directory
+so tests are hermetic and never touch ``benchmarks/.cache/``.
+
+A plain session fixture (not monkeypatch) because monkeypatch is
+function-scoped and the bank fixtures in test_paperbench are not.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_cache_dir(tmp_path_factory):
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
