@@ -35,6 +35,7 @@ import numpy as np
 from .analysis import format_table
 from .core import (
     CacheConfig,
+    KERNELS,
     PAPER_CACHE_SIZES,
     cached_bandwidth,
     classify_misses,
@@ -84,6 +85,13 @@ def _add_layout_arguments(parser):
                         help="block dimension in texels for blocked layouts")
     parser.add_argument("--pad", type=int, default=4,
                         help="pad blocks per row for the padded layout")
+
+
+def _add_kernel_argument(parser):
+    parser.add_argument("--kernel", default="vectorized",
+                        choices=sorted(KERNELS),
+                        help="LRU simulation path: batched stack-distance "
+                             "kernels or the sequential reference simulator")
 
 
 def _order_spec(args, scene_name: str) -> tuple:
@@ -145,7 +153,7 @@ def _simulate(args) -> int:
     addresses = engine.addresses(spec, layout_spec)
     config = CacheConfig(args.cache_size, args.line_size,
                          None if args.assoc == 0 else args.assoc)
-    stats = classify_misses(addresses, config)
+    stats = classify_misses(addresses, config, kernel=args.kernel)
     bandwidth = cached_bandwidth(stats.miss_rate, args.line_size)
     print(f"{args.scene} / {layout_from_spec(layout_spec).name} / "
           f"{order_from_spec(spec.order).name} / {config.label()}")
@@ -172,7 +180,8 @@ def _sweep(args) -> int:
 
     if args.axis == "cache":
         result = engine.run(ExperimentSpec(
-            cache_sizes=PAPER_CACHE_SIZES, line_sizes=(args.line_size,), **grid))
+            cache_sizes=PAPER_CACHE_SIZES, line_sizes=(args.line_size,), **grid),
+            kernel=args.kernel)
         rows = [[f"{row.config.size // 1024}KB",
                  f"{100 * row.stats.miss_rate:.3f}%"] for row in result.rows]
         print(format_table(["cache size", "miss rate"], rows,
@@ -181,7 +190,7 @@ def _sweep(args) -> int:
     elif args.axis == "line":
         result = engine.run(ExperimentSpec(
             cache_sizes=(args.cache_size,), line_sizes=(16, 32, 64, 128, 256),
-            **grid))
+            **grid), kernel=args.kernel)
         rows = [[f"{row.config.line_size}B",
                  f"{100 * row.stats.miss_rate:.3f}%"] for row in result.rows]
         print(format_table(["line size", "miss rate"], rows,
@@ -190,7 +199,7 @@ def _sweep(args) -> int:
     else:  # assoc
         result = engine.run(ExperimentSpec(
             cache_sizes=(args.cache_size,), line_sizes=(args.line_size,),
-            assocs=(1, 2, 4, 8, None), **grid))
+            assocs=(1, 2, 4, 8, None), **grid), kernel=args.kernel)
         rows = [["full" if row.config.assoc is None else f"{row.config.assoc}-way",
                  f"{100 * row.stats.miss_rate:.3f}%"] for row in result.rows]
         print(format_table(["associativity", "miss rate"], rows,
@@ -325,6 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--line-size", type=int, default=64)
     sim.add_argument("--assoc", type=int, default=2,
                      help="ways per set; 0 = fully associative")
+    _add_kernel_argument(sim)
     sim.set_defaults(func=_simulate)
 
     sweep = subparsers.add_parser("sweep", help="sweep one cache axis")
@@ -334,6 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
                        default="cache")
     sweep.add_argument("--cache-size", type=int, default=32 * 1024)
     sweep.add_argument("--line-size", type=int, default=64)
+    _add_kernel_argument(sweep)
     sweep.set_defaults(func=_sweep)
 
     parallel = subparsers.add_parser(

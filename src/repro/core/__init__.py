@@ -8,10 +8,12 @@ from .cache import (
     LineStream,
     LRUCache,
     collapse_consecutive,
+    collapse_segments,
     simulate,
     simulate_sequence,
     to_lines,
 )
+from .kernels import KERNELS, SetDistanceProfile, check_kernel
 from .stackdist import (
     COLD,
     DistanceProfile,
@@ -71,9 +73,13 @@ __all__ = [
     "LineStream",
     "LRUCache",
     "collapse_consecutive",
+    "collapse_segments",
     "simulate",
     "simulate_sequence",
     "to_lines",
+    "KERNELS",
+    "SetDistanceProfile",
+    "check_kernel",
     "COLD",
     "DistanceProfile",
     "MissRateCurve",

@@ -273,19 +273,41 @@ def _simulate_runs(
     return misses, cold
 
 
-def simulate_sequence(segments, config: CacheConfig) -> list:
+def collapse_segments(segments, line_size: int) -> list:
+    """Collapse each byte-address segment to line-address runs.
+
+    The shared front half of every multi-segment simulation: returns a
+    list of ``(run_lines, duplicate_hits)`` pairs, one per segment,
+    ready for either the reference cache loop or the vectorized
+    kernels.  Collapsing is per-segment, so a line straddling a
+    boundary still charges the later segment its (guaranteed-hit)
+    repeat accesses.
+    """
+    return [collapse_consecutive(to_lines(addresses, line_size))
+            for addresses in segments]
+
+
+def simulate_sequence(segments, config: CacheConfig,
+                      kernel: str = "vectorized") -> list:
     """Simulate consecutive address segments through ONE cache,
     returning per-segment :class:`CacheStats`.
 
     Used for the inter-frame temporal locality study (Section 3.1.2):
     the second frame of an animation starts with the first frame's
     cache contents ("warm"), so its stats isolate whatever reuse
-    survives between frames.
+    survives between frames.  ``kernel="vectorized"`` (the default)
+    computes all segments in one batched stack-distance pass;
+    ``"reference"`` drives the sequential :class:`LRUCache`.
     """
+    from . import kernels
+
+    kernels.check_kernel(kernel)
+    collapsed = collapse_segments(segments, config.line_size)
+    if kernel == "vectorized":
+        return kernels.sequence_stats(collapsed, config)
     cache = LRUCache(config)
     stats = []
-    for addresses in segments:
-        lines, duplicate_hits = collapse_consecutive(to_lines(addresses, config.line_size))
+    for lines, duplicate_hits in collapsed:
         start_misses = cache.misses
         start_cold = cache.cold_misses
         start_accesses = cache.accesses
@@ -300,7 +322,8 @@ def simulate_sequence(segments, config: CacheConfig) -> list:
     return stats
 
 
-def simulate(trace, config: CacheConfig, policy: str = "lru", seed: int = 0) -> CacheStats:
+def simulate(trace, config: CacheConfig, policy: str = "lru", seed: int = 0,
+             kernel: str = "vectorized") -> CacheStats:
     """Simulate ``trace`` against ``config``.
 
     ``trace`` is either a byte-address array or a prepared
@@ -308,7 +331,17 @@ def simulate(trace, config: CacheConfig, policy: str = "lru", seed: int = 0) -> 
     ``policy`` selects the replacement policy (``lru``, ``fifo``,
     ``random``); note that collapsing consecutive duplicates is exact
     for all three (a repeat access to a resident line never evicts).
+
+    ``kernel`` selects the implementation for the LRU policy:
+    ``"vectorized"`` (default) uses the batched stack-distance kernels
+    of :mod:`repro.core.kernels`, bit-identical to ``"reference"``,
+    the sequential per-access loop.  FIFO and random replacement have
+    no stack-distance characterization and always take the reference
+    loop.
     """
+    from . import kernels
+
+    kernels.check_kernel(kernel)
     if isinstance(trace, LineStream):
         if trace.line_size != config.line_size:
             raise ValueError(
@@ -317,6 +350,8 @@ def simulate(trace, config: CacheConfig, policy: str = "lru", seed: int = 0) -> 
         stream = trace
     else:
         stream = LineStream.from_addresses(trace, config.line_size)
+    if policy == "lru" and kernel == "vectorized":
+        return kernels.simulate_stream(stream, config)
     misses, cold = _simulate_runs(stream.run_lines, config, policy=policy, seed=seed)
     return CacheStats(
         config=config,

@@ -10,21 +10,35 @@ misses (Sections 5.3.3, 6.2).  We use the standard decomposition:
   count).
 * **conflict** -- the remainder: misses of the set-associative cache
   that full associativity would have avoided.
+
+On the default vectorized kernel both numbers come from distance
+profiles -- the fully-associative count from a
+:class:`~repro.core.stackdist.DistanceProfile`, the set-associative
+count from a :class:`~repro.core.kernels.SetDistanceProfile` -- so no
+per-access Python loop runs anywhere on the LRU path.
 """
 
 from __future__ import annotations
 
+from . import kernels
 from .cache import CacheConfig, CacheStats, LineStream, _simulate_runs
 from .stackdist import DistanceProfile
 
 
-def classify_misses(trace, config: CacheConfig, profile: DistanceProfile = None) -> CacheStats:
+def classify_misses(trace, config: CacheConfig,
+                    profile: DistanceProfile = None,
+                    set_profile: "kernels.SetDistanceProfile" = None,
+                    kernel: str = "vectorized") -> CacheStats:
     """Simulate ``config`` and decompose its misses into the 3C model.
 
     ``trace`` is a byte-address array or a :class:`LineStream` matching
     the config's line size.  Pass a precomputed ``profile`` (from the
-    same stream) to amortize the stack-distance pass across configs.
+    same stream) to amortize the fully-associative distance pass across
+    configs, and -- on the vectorized kernel -- a ``set_profile``
+    matching ``(config.line_size, config.n_sets)`` to amortize the
+    per-set pass across every associativity sharing it.
     """
+    kernels.check_kernel(kernel)
     if isinstance(trace, LineStream):
         if trace.line_size != config.line_size:
             raise ValueError("LineStream line size mismatch")
@@ -33,10 +47,20 @@ def classify_misses(trace, config: CacheConfig, profile: DistanceProfile = None)
         stream = LineStream.from_addresses(trace, config.line_size)
 
     if profile is None:
-        profile = DistanceProfile.from_stream(stream)
+        profile = DistanceProfile.from_stream(stream, kernel=kernel)
     fully_associative_misses = profile.misses_at(config.n_lines)
 
-    misses, cold = _simulate_runs(stream.run_lines, config)
+    if kernel == "vectorized":
+        if config.n_sets == 1:
+            # The set-associative cache IS the fully-associative one.
+            misses, cold = fully_associative_misses, profile.cold
+        else:
+            if set_profile is None:
+                set_profile = kernels.SetDistanceProfile.from_stream(
+                    stream, config.n_sets)
+            misses, cold = set_profile.stats_pair(config)
+    else:
+        misses, cold = _simulate_runs(stream.run_lines, config)
     capacity = fully_associative_misses - cold
     conflict = misses - fully_associative_misses
     if conflict < 0:

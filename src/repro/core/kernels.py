@@ -1,0 +1,376 @@
+"""Vectorized cache-simulation kernels.
+
+The paper's studies are whole grids of cache configurations (size x
+line size x associativity) over multi-million-access traces, and the
+reference simulator (:class:`~repro.core.cache.LRUCache` and the
+``_simulate_runs`` loop) pays a Python-level iteration per access per
+configuration.  This module provides exact, batched replacements built
+on two observations:
+
+**Per-set decomposition.**  A set-associative LRU cache is ``n_sets``
+*independent* fully-associative LRU caches, each seeing the
+subsequence of line addresses that map to its set.  Partitioning the
+collapsed run stream by set index (one stable argsort) and computing
+LRU stack distances over the partitioned stream therefore yields --
+in one pass -- the exact miss count for **every** associativity that
+shares that ``(line_size, n_sets)`` pair:
+
+    misses(ways) = cold + #{accesses with per-set distance > ways}.
+
+**Offline stack distances.**  The per-access stack distance itself is
+a 2-D dominance count.  With ``prev(i)`` the position of the previous
+access to the same line (-1 for first touches),
+
+    distance(i) = 1 + #{j in (prev(i), i) : prev(j) <= prev(i)}
+                = F(i) - prev(i),   F(i) = #{j < i : prev(j) <= prev(i)},
+
+because every j <= prev(i) satisfies ``prev(j) < j <= prev(i)``
+trivially.  ``F`` is computed offline by top-down merge counting from
+ONE stable argsort: each block of positions, kept sorted by ``prev``
+value, is stably split into its two halves level by level, and the
+number of left-half elements preceding each right-half element in the
+merged order is exactly its dominance contribution -- cumsum and index
+arithmetic only, no per-element Python anywhere (see
+:func:`dominance_counts`).
+
+The same ``F - prev`` identity survives concatenating the per-set
+subsequences: every position in an earlier set's block trivially
+satisfies the dominance condition, and each line address maps to
+exactly one set, so one global pass computes all per-set distances.
+
+The kernels are exact (bit-identical miss / cold / capacity / conflict
+counts versus the reference); :mod:`repro.core.cache` keeps the
+sequential implementation selectable via ``kernel="reference"`` and
+for the FIFO/random replacement policies, which have no stack-distance
+characterization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cache import CacheConfig, CacheStats, LineStream
+
+#: Distance value recorded for cold (first-touch) accesses; mirrors
+#: :data:`repro.core.stackdist.COLD`.
+COLD = -1
+
+#: Kernel selector values accepted throughout the simulator.
+KERNELS = ("reference", "vectorized")
+
+
+def check_kernel(kernel: str) -> str:
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
+    return kernel
+
+
+def _argsort_bounded(keys: np.ndarray, upper: int) -> np.ndarray:
+    """Stable argsort of non-negative ``keys`` known to be ``< upper``.
+
+    NumPy's stable sort is a (fast) radix sort only for <= 16-bit
+    integer dtypes, so narrow keys sort directly and wider bounded
+    keys sort as two chained 16-bit radix passes (low then high half),
+    several times faster than the int64 mergesort either way.
+    """
+    if upper <= 1 << 16:
+        return np.argsort(keys.astype(np.uint16), kind="stable")
+    if upper <= 1 << 32:
+        lo = (keys & 0xFFFF).astype(np.uint16)
+        first = np.argsort(lo, kind="stable")
+        hi = (keys >> 16).astype(np.uint16)
+        second = np.argsort(hi[first], kind="stable")
+        return first[second]
+    return np.argsort(keys, kind="stable")
+
+
+def previous_occurrences(lines: np.ndarray) -> np.ndarray:
+    """``prev[i]`` = index of the previous access to ``lines[i]``, or
+    -1 for a first touch.  One stable argsort; no Python loop."""
+    lines = np.asarray(lines, dtype=np.int64)
+    n = len(lines)
+    prev = np.full(n, -1, dtype=np.int64)
+    if n < 2:
+        return prev
+    order = _argsort_bounded(lines, int(lines.max()) + 1)
+    ordered = lines[order]
+    same = ordered[1:] == ordered[:-1]
+    prev[order[1:][same]] = order[:-1][same]
+    return prev
+
+
+#: Pairs closer than this many position bits are resolved by one
+#: batched all-pairs comparison instead of per-level partitioning.
+_BOTTOM_BITS = 5
+_BOTTOM = 1 << _BOTTOM_BITS
+_POS_MASK = (1 << 32) - 1
+
+
+def dominance_counts(prev: np.ndarray) -> np.ndarray:
+    """``F[i] = #{j < i : prev[j] <= prev[i]}`` for every position.
+
+    Top-down merge counting driven by ONE stable argsort.  Start from
+    the fully value-sorted permutation and, level by level, stably
+    split each block of ``2**(t+1)`` positions into its two
+    ``2**t``-position halves (pure cumsum arithmetic -- no further
+    sorting).  Before each split, the block *is* the stable merge of
+    its halves, so for every right-half element the number of
+    left-half elements preceding it in the block equals
+    ``#{left j : prev[j] <= prev[i]}`` exactly (left positions all
+    precede right positions, so stability breaks value ties the right
+    way).  Each (j, i) pair is counted at exactly one level -- the
+    highest differing bit of j and i.
+
+    Constant-factor engineering: positions are a permutation of
+    ``[0, n)``, so every block is a fixed ``2**(t+1)``-wide position
+    range and block starts/offsets are index arithmetic (no bincount,
+    no gathers); each element packs ``accumulated_count << 32 |
+    position`` into one int64 so the per-level count update is
+    branch-free arithmetic and the only random memory access per level
+    is the partition scatter itself; the last ``_BOTTOM_BITS`` levels
+    (pairs within 32-position blocks, by then contiguous and
+    value-sorted) collapse into a single batched 32x32 triangular
+    comparison.  Requires ``n < 2**31``.
+    """
+    prev = np.asarray(prev, dtype=np.int64)
+    n = len(prev)
+    counts = np.zeros(n, dtype=np.int64)
+    if n < 2:
+        return counts
+    if n >= 1 << 31:
+        raise ValueError("dominance_counts supports up to 2**31-1 accesses")
+    # P packs (accumulated count << 32) | position, value-sorted.
+    P = _argsort_bounded(prev + 1, n + 1).astype(np.int64, copy=False)
+    ks = np.arange(n, dtype=np.int64)
+    buffer = np.empty_like(P)
+    level = (n - 1).bit_length() - 1
+    while level >= _BOTTOM_BITS:
+        half = 1 << level
+        width = half << 1
+        bit = (P >> level) & 1          # 1 = right half of its block
+        # Stable rank among left-half elements, rebased per block: one
+        # cumsum, everything else index arithmetic.
+        left_rank = ks - np.cumsum(bit) + bit
+        left_rank -= np.repeat(left_rank[::width], width)[:n]
+        P += (bit * left_rank) << 32    # lefts dominating each right
+        # Lefts keep their rank at the block start; rights go after the
+        # block's ``half`` lefts.  (A block too short to hold ``half``
+        # lefts holds no rights at all, so the scalar is always right.)
+        slot = (ks & -width) + left_rank
+        right_slot = ks + half
+        right_slot -= left_rank
+        slot += (right_slot - slot) * bit
+        buffer[slot] = P
+        P, buffer = buffer, P
+        level -= 1
+    # Bottom levels in one shot: every remaining pair lives inside a
+    # 32-position block, contiguous and value-sorted, so stable array
+    # order encodes ``prev[j] <= prev[i]`` and a strict position
+    # comparison over the lower triangle counts exactly the pairs not
+    # yet counted above.  Padding positions sort after every real one.
+    padded = -(-n // _BOTTOM) * _BOTTOM
+    if padded != n:
+        P = np.concatenate([P, np.arange(n, padded, dtype=np.int64)])
+    pos = (P & _POS_MASK).astype(np.int32).reshape(-1, _BOTTOM)
+    within = (pos[:, None, :] < pos[:, :, None])
+    within &= np.tri(_BOTTOM, k=-1, dtype=bool)
+    within = within.sum(axis=2, dtype=np.int64).ravel()[:n]
+    counts[P[:n] & _POS_MASK] = (P[:n] >> 32) + within
+    return counts
+
+
+def stack_distances(run_lines: np.ndarray) -> np.ndarray:
+    """Vectorized per-access LRU stack distances (:data:`COLD` for
+    first touches); exact drop-in for the Fenwick reference
+    :func:`repro.core.stackdist.stack_distances`."""
+    run_lines = np.asarray(run_lines, dtype=np.int64)
+    prev = previous_occurrences(run_lines)
+    counts = dominance_counts(prev)
+    return np.where(prev < 0, np.int64(COLD), counts - prev)
+
+
+def set_partition(run_lines: np.ndarray, n_sets: int) -> np.ndarray:
+    """The run stream reordered into per-set subsequences (stable, so
+    each subsequence preserves access order).  ``n_sets == 1`` returns
+    the stream unchanged."""
+    run_lines = np.asarray(run_lines, dtype=np.int64)
+    if n_sets <= 1:
+        return run_lines
+    # Line addresses are non-negative, so % matches the reference
+    # cache's mask/modulo set indexing exactly.
+    order = _argsort_bounded(run_lines % n_sets, n_sets)
+    return run_lines[order]
+
+
+def _partitioned_prev(run_lines: np.ndarray, n_sets: int,
+                      prev: np.ndarray) -> np.ndarray:
+    """Previous-occurrence indices of the set-partitioned stream,
+    derived from the unpartitioned ``prev`` without a second argsort
+    over line addresses.
+
+    A line's occurrences all map to one set and the stable partition
+    preserves their relative order, so the partitioned stream's
+    previous occurrence IS the unpartitioned one relocated:
+    ``prev_part[k] = rank[prev[order[k]]]``.
+    """
+    order = _argsort_bounded(run_lines % n_sets, n_sets)
+    rank = np.empty(len(order), dtype=np.int64)
+    rank[order] = np.arange(len(order), dtype=np.int64)
+    moved = prev[order]
+    warm = moved >= 0
+    out = np.full(len(order), -1, dtype=np.int64)
+    out[warm] = rank[moved[warm]]
+    return out
+
+
+def set_distance_histogram(run_lines: np.ndarray, n_sets: int,
+                           prev: np.ndarray = None) -> tuple:
+    """``(counts, cold)`` for the per-set stack distances of a
+    collapsed run stream: ``counts[d]`` is the number of accesses at
+    per-set distance ``d`` (aggregated over sets), ``cold`` the number
+    of first touches.  Lines never span sets, so one concatenated pass
+    computes every set's distances at once.
+
+    ``prev`` optionally supplies :func:`previous_occurrences` of the
+    *unpartitioned* stream so grid sweeps (many ``n_sets``, one
+    stream) pay for that argsort once.
+    """
+    run_lines = np.asarray(run_lines, dtype=np.int64)
+    if prev is None:
+        prev = previous_occurrences(run_lines)
+    if n_sets <= 1:
+        seq_prev = prev
+    else:
+        seq_prev = _partitioned_prev(run_lines, n_sets, prev)
+    warm = seq_prev >= 0
+    distances = dominance_counts(seq_prev)[warm] - seq_prev[warm]
+    if len(distances):
+        counts = np.bincount(distances)
+    else:
+        counts = np.zeros(1, dtype=np.int64)
+    return counts.astype(np.int64, copy=False), int(len(run_lines) - warm.sum())
+
+
+@dataclass
+class SetDistanceProfile:
+    """Per-set stack-distance summary of one trace, keyed by
+    ``(line_size, n_sets)``.
+
+    One profile yields the exact miss count of **every** LRU cache
+    organization sharing its line size and set count -- associativity
+    ``w`` means capacity ``n_sets * w * line_size`` -- via
+    :meth:`misses_at`.  ``n_sets == 1`` coincides with the
+    fully-associative :class:`~repro.core.stackdist.DistanceProfile`.
+    """
+
+    line_size: int
+    n_sets: int
+    counts: np.ndarray
+    cold: int
+    duplicate_hits: int
+
+    @property
+    def total_accesses(self) -> int:
+        return int(self.counts.sum()) + self.cold + self.duplicate_hits
+
+    @classmethod
+    def from_stream(cls, stream: LineStream, n_sets: int,
+                    prev: np.ndarray = None) -> "SetDistanceProfile":
+        counts, cold = set_distance_histogram(stream.run_lines, n_sets,
+                                              prev=prev)
+        return cls(line_size=stream.line_size, n_sets=n_sets, counts=counts,
+                   cold=cold, duplicate_hits=stream.duplicate_hits)
+
+    def misses_at(self, ways: int) -> int:
+        """Exact miss count for the ``ways``-associative LRU cache of
+        ``n_sets * ways * line_size`` bytes."""
+        if ways < 1:
+            raise ValueError("ways must be at least one line per set")
+        upto = min(ways + 1, len(self.counts))
+        hits_within = int(self.counts[:upto].sum())
+        return int(self.counts.sum()) - hits_within + self.cold
+
+    def stats_pair(self, config: CacheConfig) -> tuple:
+        """``(misses, cold_misses)`` for ``config``, which must share
+        this profile's line size and set count."""
+        if config.line_size != self.line_size:
+            raise ValueError(
+                f"config line size {config.line_size} != profile {self.line_size}")
+        if config.n_sets != self.n_sets:
+            raise ValueError(
+                f"config has {config.n_sets} sets, profile {self.n_sets}")
+        return self.misses_at(config.ways), self.cold
+
+    def stats_for(self, config: CacheConfig) -> CacheStats:
+        """The :class:`CacheStats` this profile implies for ``config``
+        (which must share this profile's line size and set count)."""
+        misses, cold = self.stats_pair(config)
+        return CacheStats(
+            config=config,
+            accesses=self.total_accesses,
+            misses=misses,
+            cold_misses=cold,
+        )
+
+
+def simulate_stream(stream: LineStream, config: CacheConfig) -> CacheStats:
+    """Vectorized exact LRU simulation of one collapsed stream."""
+    return SetDistanceProfile.from_stream(stream, config.n_sets).stats_for(config)
+
+
+def sequence_stats(collapsed_segments, config: CacheConfig) -> list:
+    """Per-segment :class:`CacheStats` for consecutive collapsed
+    segments through ONE LRU cache (the inter-frame study).
+
+    ``collapsed_segments`` is a list of ``(run_lines, duplicate_hits)``
+    pairs, each collapsed independently so boundary repeats still count
+    as (distance-1) hits of the later segment.  Concatenating the
+    segments reproduces the carried cache state exactly: a per-set
+    stack distance never sees segment boundaries, just like the warm
+    cache it models.
+    """
+    if not collapsed_segments:
+        return []
+    runs = [np.asarray(r, dtype=np.int64) for r, _ in collapsed_segments]
+    lengths = np.array([len(r) for r in runs], dtype=np.int64)
+    joined = np.concatenate(runs) if runs else np.empty(0, dtype=np.int64)
+    segment = np.repeat(np.arange(len(runs), dtype=np.int64), lengths)
+
+    if config.n_sets > 1:
+        order = np.argsort(joined % config.n_sets, kind="stable")
+        joined = joined[order]
+        segment = segment[order]
+    prev = previous_occurrences(joined)
+    cold = prev < 0
+    distances = dominance_counts(prev) - prev  # only valid where warm
+    miss = cold | (~cold & (distances > config.ways))
+
+    n_segments = len(runs)
+    miss_counts = np.bincount(segment[miss], minlength=n_segments)
+    cold_counts = np.bincount(segment[cold], minlength=n_segments)
+    stats = []
+    for index, (run_lines, duplicate_hits) in enumerate(collapsed_segments):
+        stats.append(CacheStats(
+            config=config,
+            accesses=int(lengths[index]) + int(duplicate_hits),
+            misses=int(miss_counts[index]),
+            cold_misses=int(cold_counts[index]),
+        ))
+    return stats
+
+
+__all__ = [
+    "COLD",
+    "KERNELS",
+    "SetDistanceProfile",
+    "check_kernel",
+    "dominance_counts",
+    "previous_occurrences",
+    "sequence_stats",
+    "set_distance_histogram",
+    "set_partition",
+    "simulate_stream",
+    "stack_distances",
+]

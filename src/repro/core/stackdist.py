@@ -11,14 +11,18 @@ This is what makes the paper's miss-rate-versus-cache-size figures
 (5.2, 5.4, 5.5, 5.6, 6.2) cheap to regenerate: one pass per trace
 instead of one simulation per cache size.
 
-Distances are computed with a Fenwick (binary indexed) tree over access
-positions, marking each line's most recent access -- the classic
-O(n log n) algorithm.
+:func:`stack_distances` here is the sequential reference: a Fenwick
+(binary indexed) tree over access positions, marking each line's most
+recent access -- the classic O(n log n) algorithm, one Python loop
+iteration per access.  :class:`DistanceProfile` defaults to the
+batched offline kernel in :mod:`repro.core.kernels`, which computes
+the same distances with no per-access Python.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -89,7 +93,15 @@ class DistanceProfile:
         return int(self.counts.sum()) + self.cold + self.duplicate_hits
 
     @classmethod
-    def from_stream(cls, stream: LineStream) -> "DistanceProfile":
+    def from_stream(cls, stream: LineStream,
+                    kernel: str = "vectorized") -> "DistanceProfile":
+        from . import kernels
+
+        kernels.check_kernel(kernel)
+        if kernel == "vectorized":
+            counts, cold = kernels.set_distance_histogram(stream.run_lines, 1)
+            return cls(counts=counts, cold=cold,
+                       duplicate_hits=stream.duplicate_hits)
         distances = stack_distances(stream.run_lines)
         cold = int(np.count_nonzero(distances == COLD))
         finite = distances[distances != COLD]
@@ -120,25 +132,43 @@ class DistanceProfile:
 
 @dataclass
 class MissRateCurve:
-    """Fully-associative miss rate as a function of cache size."""
+    """Fully-associative miss rate as a function of cache size.
+
+    ``miss_counts``/``cold_misses`` carry the exact per-size integer
+    miss counts alongside the rates; :func:`miss_rate_curve` always
+    fills them in, so :meth:`as_stats` round-trips bit-identically to
+    direct simulation.  They default to ``None`` for hand-constructed
+    curves, where :meth:`as_stats` falls back to reconstructing counts
+    from the rates (accurate only to rounding).
+    """
 
     line_size: int
     sizes: np.ndarray
     miss_rates: np.ndarray
     cold_miss_rate: float
     total_accesses: int
+    miss_counts: Optional[np.ndarray] = None
+    cold_misses: Optional[int] = None
 
     def as_stats(self) -> list:
         """Expand the curve into per-size :class:`CacheStats`."""
+        if self.miss_counts is not None:
+            misses_per_size = [int(m) for m in self.miss_counts]
+        else:
+            misses_per_size = [round(rate * self.total_accesses)
+                               for rate in self.miss_rates.tolist()]
+        if self.cold_misses is not None:
+            cold = int(self.cold_misses)
+        else:
+            cold = round(self.cold_miss_rate * self.total_accesses)
         stats = []
-        for size, rate in zip(self.sizes.tolist(), self.miss_rates.tolist()):
+        for size, misses in zip(self.sizes.tolist(), misses_per_size):
             config = CacheConfig(size=int(size), line_size=self.line_size, assoc=None)
-            misses = round(rate * self.total_accesses)
             stats.append(CacheStats(
                 config=config,
                 accesses=self.total_accesses,
                 misses=misses,
-                cold_misses=round(self.cold_miss_rate * self.total_accesses),
+                cold_misses=cold,
             ))
         return stats
 
@@ -164,13 +194,17 @@ def miss_rate_curve(trace, line_size: int, cache_sizes) -> MissRateCurve:
             stream = LineStream.from_addresses(trace, line_size)
         profile = DistanceProfile.from_stream(stream)
     sizes = np.asarray(sorted(cache_sizes), dtype=np.int64)
-    rates = np.array([
-        profile.miss_rate_at(max(int(size) // line_size, 1)) for size in sizes
-    ])
+    total = profile.total_accesses
+    misses = np.array([
+        profile.misses_at(max(int(size) // line_size, 1)) for size in sizes
+    ], dtype=np.int64)
+    rates = misses / total if total else np.zeros(len(sizes))
     return MissRateCurve(
         line_size=line_size,
         sizes=sizes,
         miss_rates=rates,
         cold_miss_rate=profile.cold_miss_rate,
-        total_accesses=profile.total_accesses,
+        total_accesses=total,
+        miss_counts=misses,
+        cold_misses=profile.cold,
     )

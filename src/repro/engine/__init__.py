@@ -30,6 +30,7 @@ from .artifacts import (
     default_cache_dir,
     fingerprint,
     profile_payload,
+    set_profile_payload,
 )
 from .spec import (
     ExperimentSpec,
@@ -56,6 +57,7 @@ __all__ = [
     "default_cache_dir",
     "fingerprint",
     "profile_payload",
+    "set_profile_payload",
     "ExperimentSpec",
     "TraceSpec",
     "layout_from_spec",

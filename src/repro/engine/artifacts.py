@@ -11,7 +11,7 @@ payload describing *all* the inputs of the stage -- scene name,
 reproduction scale, animation time, traversal-order spec, filtering
 options, layout spec and a pipeline version stamp -- so artifacts
 produced by an older pipeline (or different parameters) simply never
-match and stale data self-invalidates.  Three artifact kinds exist:
+match and stale data self-invalidates.  Four artifact kinds exist:
 
 ``traces/``
     Rendered :class:`~repro.pipeline.trace.TexelTrace` archives
@@ -21,6 +21,10 @@ match and stale data self-invalidates.  Three artifact kinds exist:
     Per-layout byte-address streams (``.npy``).
 ``profiles/``
     LRU stack-distance summaries per line size (``.npz``).
+``set_profiles/``
+    Per-set stack-distance summaries per ``(line_size, n_sets)``
+    (``.npz``); one answers every associativity sharing that set
+    count, so warm sessions sweep whole grids without a distance pass.
 
 The root directory defaults to ``benchmarks/.cache/`` and is
 overridable with the ``REPRO_CACHE_DIR`` environment variable.  Writes
@@ -40,6 +44,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..core.kernels import SetDistanceProfile
 from ..core.stackdist import DistanceProfile
 from ..pipeline import traceio
 from ..pipeline.renderer import RenderResult
@@ -51,7 +56,7 @@ from .spec import TraceSpec
 PIPELINE_VERSION = 1
 
 #: Artifact kinds, also the store's subdirectory names.
-KINDS = ("traces", "addresses", "profiles")
+KINDS = ("traces", "addresses", "profiles", "set_profiles")
 
 
 def default_cache_dir() -> Path:
@@ -85,6 +90,13 @@ def addresses_payload(trace_spec: TraceSpec, layout_spec, alignment: int = 16) -
 def profile_payload(address_payload: dict, line_size: int) -> dict:
     """Fingerprint payload for a stack-distance profile."""
     return {"addresses": address_payload, "line_size": line_size}
+
+
+def set_profile_payload(address_payload: dict, line_size: int,
+                        n_sets: int) -> dict:
+    """Fingerprint payload for a per-set stack-distance profile."""
+    return {"addresses": address_payload, "line_size": line_size,
+            "n_sets": n_sets}
 
 
 def _atomic_write(path: Path, write) -> None:
@@ -199,6 +211,36 @@ class ArtifactStore:
             np.savez_compressed(
                 temp, counts=profile.counts,
                 meta=np.array([profile.cold, profile.duplicate_hits],
+                              dtype=np.int64))
+        _atomic_write(path, write)
+        return path
+
+    # -- per-set stack-distance profiles ---------------------------------
+
+    def load_set_profile(self, payload: dict) -> Optional[SetDistanceProfile]:
+        path = self._path("set_profiles", fingerprint(payload), ".npz")
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as archive:
+                counts = archive["counts"]
+                line_size, n_sets, cold, duplicate_hits = \
+                    archive["meta"].tolist()
+        except (ValueError, OSError, KeyError):
+            return None
+        return SetDistanceProfile(
+            line_size=int(line_size), n_sets=int(n_sets), counts=counts,
+            cold=int(cold), duplicate_hits=int(duplicate_hits))
+
+    def save_set_profile(self, payload: dict,
+                         profile: SetDistanceProfile) -> Path:
+        path = self._path("set_profiles", fingerprint(payload), ".npz")
+
+        def write(temp):
+            np.savez_compressed(
+                temp, counts=profile.counts,
+                meta=np.array([profile.line_size, profile.n_sets,
+                               profile.cold, profile.duplicate_hits],
                               dtype=np.int64))
         _atomic_write(path, write)
         return path

@@ -22,12 +22,18 @@ from typing import Optional
 import numpy as np
 
 from ..core.cache import CacheConfig, CacheStats, simulate
+from ..core.kernels import SetDistanceProfile, check_kernel
 from ..core.stackdist import DistanceProfile, miss_rate_curve
 from ..core.sweep import TraceStreams
 from ..pipeline.renderer import Renderer, RenderResult
 from ..scenes import ALL_SCENES
 from ..texture.memory import place_textures
-from .artifacts import ArtifactStore, addresses_payload, profile_payload
+from .artifacts import (
+    ArtifactStore,
+    addresses_payload,
+    profile_payload,
+    set_profile_payload,
+)
 from .spec import ExperimentSpec, TraceSpec, layout_from_spec, order_from_spec
 
 #: Number of actual scene renders performed by this process (cache
@@ -46,28 +52,47 @@ def reset_render_calls() -> None:
 
 
 class StoredTraceStreams(TraceStreams):
-    """:class:`TraceStreams` whose distance profiles round-trip through
-    the artifact store (computed once per store, not once per
-    process)."""
+    """:class:`TraceStreams` whose distance profiles -- fully
+    associative and per-set -- round-trip through the artifact store
+    (computed once per store, not once per process)."""
 
     def __init__(self, addresses, store: Optional[ArtifactStore] = None,
-                 key_payload: Optional[dict] = None):
-        super().__init__(addresses)
+                 key_payload: Optional[dict] = None,
+                 kernel: str = "vectorized"):
+        super().__init__(addresses, kernel=kernel)
         self._store = store
         self._key_payload = key_payload
+
+    def _backed(self) -> bool:
+        return self._store is not None and self._key_payload is not None
 
     def profile(self, line_size: int) -> DistanceProfile:
         if line_size not in self._profiles:
             cached = None
-            if self._store is not None and self._key_payload is not None:
+            if self._backed():
                 payload = profile_payload(self._key_payload, line_size)
                 cached = self._store.load_profile(payload)
             if cached is None:
-                cached = DistanceProfile.from_stream(self.stream(line_size))
-                if self._store is not None and self._key_payload is not None:
+                cached = super().profile(line_size)
+                if self._backed():
                     self._store.save_profile(payload, cached)
             self._profiles[line_size] = cached
         return self._profiles[line_size]
+
+    def set_profile(self, line_size: int, n_sets: int) -> SetDistanceProfile:
+        key = (line_size, n_sets)
+        if key not in self._set_profiles:
+            cached = None
+            if self._backed():
+                payload = set_profile_payload(self._key_payload, line_size,
+                                              n_sets)
+                cached = self._store.load_set_profile(payload)
+            if cached is None:
+                cached = super().set_profile(line_size, n_sets)
+                if self._backed():
+                    self._store.save_set_profile(payload, cached)
+            self._set_profiles[key] = cached
+        return self._set_profiles[key]
 
 
 class Engine:
@@ -158,14 +183,19 @@ class Engine:
 
     # -- experiment execution --------------------------------------------
 
-    def run(self, experiment: ExperimentSpec, workers: int = 0) -> "ExperimentResult":
+    def run(self, experiment: ExperimentSpec, workers: int = 0,
+            kernel: str = "vectorized") -> "ExperimentResult":
         """Execute every cell of ``experiment``.
 
         ``workers > 1`` warms the store's render/address/profile
         artifacts with a multiprocessing pool first (one task per
         scene/order/layout), then assembles results from the warm
-        store in this process.
+        store in this process.  ``kernel`` selects the LRU simulation
+        path: the default reads every finite associativity off a
+        store-backed per-set distance profile; ``"reference"`` runs
+        the sequential :class:`~repro.core.cache.LRUCache` simulator.
         """
+        check_kernel(kernel)
         if workers and workers > 1:
             self._warm_parallel(experiment, workers)
         rows = []
@@ -176,11 +206,11 @@ class Engine:
                     for assoc in experiment.assocs:
                         rows.extend(self._sweep_sizes(
                             trace_spec, layout_spec, streams, line_size,
-                            assoc, experiment.cache_sizes))
+                            assoc, experiment.cache_sizes, kernel))
         return ExperimentResult(spec=experiment, rows=rows)
 
     def _sweep_sizes(self, trace_spec, layout_spec, streams, line_size,
-                     assoc, cache_sizes) -> list:
+                     assoc, cache_sizes, kernel: str = "vectorized") -> list:
         rows = []
         if assoc is None:
             curve = miss_rate_curve(streams, line_size, sorted(cache_sizes))
@@ -192,9 +222,14 @@ class Engine:
             stream = streams.stream(line_size)
             for size in sorted(cache_sizes):
                 config = CacheConfig(int(size), line_size, assoc)
+                if kernel == "vectorized":
+                    stats = streams.set_profile(
+                        line_size, config.n_sets).stats_for(config)
+                else:
+                    stats = simulate(stream, config, kernel=kernel)
                 rows.append(ExperimentRow(
                     scene=trace_spec.scene, order=trace_spec.order,
-                    layout=tuple(layout_spec), stats=simulate(stream, config)))
+                    layout=tuple(layout_spec), stats=stats))
         return rows
 
     def _warm_parallel(self, experiment: ExperimentSpec, workers: int) -> None:
@@ -261,9 +296,10 @@ class ExperimentResult:
 def run_experiment(experiment: ExperimentSpec,
                    store: Optional[ArtifactStore] = None,
                    engine: Optional[Engine] = None,
-                   workers: int = 0) -> ExperimentResult:
+                   workers: int = 0,
+                   kernel: str = "vectorized") -> ExperimentResult:
     """Convenience wrapper: run ``experiment`` on ``engine`` (or a
     fresh one over ``store``)."""
     if engine is None:
         engine = Engine(store=store)
-    return engine.run(experiment, workers=workers)
+    return engine.run(experiment, workers=workers, kernel=kernel)

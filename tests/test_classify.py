@@ -69,3 +69,26 @@ class TestClassifyMisses:
             stats = classify_misses(addresses, CacheConfig(size=256, line_size=32, assoc=2))
             assert stats.conflict_misses >= 0
             assert stats.capacity_misses >= 0
+
+    def test_kernels_agree(self):
+        for seed in range(5):
+            addresses = np.random.default_rng(seed).integers(0, 4096, size=3000) * 4
+            for config in (CacheConfig(512, 32, 1), CacheConfig(1024, 32, 2),
+                           CacheConfig(2048, 64, 8), CacheConfig(512, 32)):
+                fast = classify_misses(addresses, config)
+                slow = classify_misses(addresses, config, kernel="reference")
+                assert (fast.misses, fast.cold_misses, fast.capacity_misses,
+                        fast.conflict_misses) == \
+                       (slow.misses, slow.cold_misses, slow.capacity_misses,
+                        slow.conflict_misses)
+
+    def test_set_profile_reuse(self):
+        from repro.core.kernels import SetDistanceProfile
+        addresses = np.random.default_rng(3).integers(0, 2048, size=2000) * 8
+        config = CacheConfig(size=1024, line_size=32, assoc=2)
+        stream = LineStream.from_addresses(addresses, 32)
+        set_profile = SetDistanceProfile.from_stream(stream, config.n_sets)
+        a = classify_misses(stream, config, set_profile=set_profile)
+        b = classify_misses(addresses, config)
+        assert (a.misses, a.cold_misses, a.capacity_misses, a.conflict_misses) == \
+               (b.misses, b.cold_misses, b.capacity_misses, b.conflict_misses)

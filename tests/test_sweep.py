@@ -33,6 +33,23 @@ class TestTraceStreams:
         streams = TraceStreams(addresses)
         assert streams.profile(32) is streams.profile(32)
 
+    def test_set_profile_memoized_and_shared(self, addresses):
+        streams = TraceStreams(addresses)
+        assert streams.set_profile(32, 8) is streams.set_profile(32, 8)
+        # One set = fully associative: shares the distance profile's
+        # counts instead of running a second pass.
+        assert streams.set_profile(32, 1).counts is streams.profile(32).counts
+
+    def test_rejects_unknown_kernel(self, addresses):
+        with pytest.raises(ValueError):
+            TraceStreams(addresses, kernel="fenwick")
+
+    def test_reference_kernel_profile_matches(self, addresses):
+        fast = TraceStreams(addresses).profile(32)
+        slow = TraceStreams(addresses, kernel="reference").profile(32)
+        assert np.array_equal(fast.counts, slow.counts)
+        assert fast.cold == slow.cold
+
 
 class TestSweeps:
     def test_fully_associative_sweep_matches_simulation(self, addresses):
@@ -76,3 +93,34 @@ class TestSweeps:
     def test_paper_grids(self):
         assert 32 * 1024 in PAPER_CACHE_SIZES
         assert None in PAPER_ASSOCIATIVITIES
+
+    def test_kernels_agree_across_size_sweep(self, addresses):
+        for assoc in (None, 1, 4):
+            fast = sweep_cache_sizes(addresses, 32, [1024, 4096, 16384],
+                                     assoc=assoc)
+            slow = sweep_cache_sizes(addresses, 32, [1024, 4096, 16384],
+                                     assoc=assoc, kernel="reference")
+            for a, b in zip(fast, slow):
+                assert (a.accesses, a.misses, a.cold_misses) == \
+                       (b.accesses, b.misses, b.cold_misses)
+
+    def test_kernels_agree_across_assoc_sweep(self, addresses):
+        for classify in (False, True):
+            fast = sweep_associativities(addresses, 4096, 32,
+                                         classify=classify)
+            slow = sweep_associativities(addresses, 4096, 32,
+                                         classify=classify,
+                                         kernel="reference")
+            for a, b in zip(fast, slow):
+                assert (a.misses, a.cold_misses, a.capacity_misses,
+                        a.conflict_misses) == \
+                       (b.misses, b.cold_misses, b.capacity_misses,
+                        b.conflict_misses)
+
+    def test_fully_associative_stats_are_exact_integers(self, addresses):
+        curve = fully_associative_curve(addresses, 32, [1024, 8192])
+        assert curve.miss_counts is not None
+        for entry in curve.as_stats():
+            direct = simulate(addresses, entry.config)
+            assert entry.misses == direct.misses
+            assert entry.cold_misses == direct.cold_misses
