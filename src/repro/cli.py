@@ -52,6 +52,7 @@ from .engine import (
 )
 from .pipeline import fragment_cost
 from .pipeline.costs import PHASE_TABLE
+from .pipeline.renderer import RASTER_PATHS
 from .scenes import ALL_SCENES, make_scene
 
 
@@ -74,6 +75,11 @@ def _add_scene_arguments(parser):
                         help="level-of-detail bias (+1 = coarser mips)")
     parser.add_argument("--no-mipmaps", action="store_true",
                         help="GL_LINEAR ablation: bilinear from level 0")
+    parser.add_argument("--raster", default="batched",
+                        choices=list(RASTER_PATHS),
+                        help="rasterization path: the triangle-batched "
+                             "vectorized kernel or the per-triangle "
+                             "reference (both produce bit-identical traces)")
 
 
 def _add_layout_arguments(parser):
@@ -121,13 +127,15 @@ def _trace_spec(args, record_positions: bool = False) -> TraceSpec:
         scene=args.scene, scale=args.scale, order=_order_spec(args, args.scene),
         time=args.time, max_anisotropy=args.aniso, lod_bias=args.lod_bias,
         use_mipmaps=not args.no_mipmaps, record_positions=record_positions,
+        raster=args.raster,
     )
 
 
 def _render(args) -> int:
     engine = Engine()
     spec = _trace_spec(args)
-    result = engine.render(spec, produce_image=args.out is not None)
+    result = engine.render(spec, produce_image=args.out is not None,
+                           fresh=args.profile)
     if args.out:
         if args.out.endswith(".ppm"):
             result.framebuffer.to_ppm(args.out)
@@ -143,6 +151,12 @@ def _render(args) -> int:
           f"triangles rasterized, {result.n_fragments:,} fragments, "
           f"{result.trace.n_accesses:,} texel fetches "
           f"({order_from_spec(spec.order).name} order)")
+    if args.profile and result.phase_ms is not None:
+        total = sum(result.phase_ms.values())
+        print(f"phase timings ({spec.raster} raster):")
+        for phase, ms in result.phase_ms.items():
+            print(f"  {phase:11s} {ms:8.1f} ms")
+        print(f"  {'total':11s} {total:8.1f} ms")
     return 0
 
 
@@ -325,6 +339,10 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("--out", default=None, help="output .png or .ppm path")
     render.add_argument("--save-trace", default=None,
                         help="also save the texel trace (.trace.npz)")
+    render.add_argument("--profile", action="store_true",
+                        help="force a fresh render and print per-phase "
+                             "wall-clock timings (clip/raster/access-gen/"
+                             "filter)")
     render.set_defaults(func=_render)
 
     sim = subparsers.add_parser("simulate", help="simulate one cache config")

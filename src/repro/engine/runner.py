@@ -116,12 +116,15 @@ class Engine:
 
     # -- renders ---------------------------------------------------------
 
-    def render(self, spec: TraceSpec, produce_image: bool = False) -> RenderResult:
+    def render(self, spec: TraceSpec, produce_image: bool = False,
+               fresh: bool = False) -> RenderResult:
         """The render for ``spec``: memoized, then store-backed, then
         fresh.  ``produce_image=True`` always renders (framebuffers are
-        not cached) but still persists the trace for later warm runs."""
-        if produce_image:
-            result = self._render_fresh(spec, produce_image=True)
+        not cached) but still persists the trace for later warm runs;
+        ``fresh=True`` also skips the memo and store so the result
+        carries real ``phase_ms`` timings (``render --profile``)."""
+        if produce_image or fresh:
+            result = self._render_fresh(spec, produce_image=produce_image)
             self.store.save_render(spec, result)
             return result
         if spec not in self._renders:
@@ -142,6 +145,7 @@ class Engine:
             max_anisotropy=spec.max_anisotropy,
             lod_bias=spec.lod_bias,
             use_mipmaps=spec.use_mipmaps,
+            raster=spec.raster,
         )
         RENDER_CALLS += 1
         return renderer.render(scene)

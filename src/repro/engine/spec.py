@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 
 from ..core.sweep import PAPER_CACHE_SIZES
+from ..pipeline.renderer import check_raster
 from ..raster.order import TraversalOrder, make_order
 from ..scenes import ALL_SCENES
 from ..texture.layout import TextureLayout, make_layout
@@ -73,7 +74,10 @@ class TraceSpec:
 
     Two specs that compare equal produce bit-identical traces, so the
     spec (plus the pipeline version stamp) is the artifact-store
-    fingerprint for the render stage.
+    fingerprint for the render stage.  ``raster`` selects the batched
+    or reference rasterization *implementation* -- both produce
+    bit-identical traces, so it is excluded from the fingerprint and
+    warm artifacts stay valid whichever path rendered them.
     """
 
     scene: str
@@ -84,16 +88,22 @@ class TraceSpec:
     lod_bias: float = 0.0
     use_mipmaps: bool = True
     record_positions: bool = False
+    raster: str = "batched"
+
+    #: Fields that never influence the rendered output.
+    _IMPLEMENTATION_FIELDS = ("raster",)
 
     def __post_init__(self):
         if self.scene not in ALL_SCENES:
             raise ValueError(f"unknown scene {self.scene!r}")
+        check_raster(self.raster)
         object.__setattr__(self, "order",
                            resolve_order_spec(self.scene, self.order))
 
     def payload(self) -> dict:
         """JSON-serializable fingerprint payload."""
-        record = {f.name: getattr(self, f.name) for f in fields(self)}
+        record = {f.name: getattr(self, f.name) for f in fields(self)
+                  if f.name not in self._IMPLEMENTATION_FIELDS}
         record["order"] = list(self.order)
         return record
 
@@ -121,6 +131,7 @@ class ExperimentSpec:
     max_anisotropy: int = 1
     lod_bias: float = 0.0
     use_mipmaps: bool = True
+    raster: str = "batched"
 
     def __post_init__(self):
         for attribute in ("scenes", "layouts", "orders", "cache_sizes",
@@ -135,13 +146,14 @@ class ExperimentSpec:
                 raise ValueError(f"unknown scene {scene!r}")
         for layout in self.layouts:
             layout_from_spec(layout)  # validates eagerly
+        check_raster(self.raster)
 
     def trace_spec(self, scene: str, order) -> TraceSpec:
         return TraceSpec(
             scene=scene, scale=self.scale,
             order=resolve_order_spec(scene, order), time=self.time,
             max_anisotropy=self.max_anisotropy, lod_bias=self.lod_bias,
-            use_mipmaps=self.use_mipmaps,
+            use_mipmaps=self.use_mipmaps, raster=self.raster,
         )
 
     def trace_specs(self) -> list:

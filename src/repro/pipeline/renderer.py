@@ -11,10 +11,28 @@ Fragment traversal within each triangle follows the configured
 tiled); every texel fetched by the trilinear/bilinear filter is
 recorded in a :class:`~repro.pipeline.trace.TexelTrace` for the cache
 simulator.
+
+Two rasterization paths exist, selected by ``Renderer(raster=...)``:
+
+``"batched"`` (default)
+    :mod:`repro.raster.batched` evaluates bins of triangles over flat
+    candidate arrays and generates texel accesses once per texture
+    instead of once per triangle.  Traces, framebuffers and
+    per-triangle fragment counts are **bit-identical** to the
+    reference path -- only the wall clock differs.
+``"reference"``
+    The original per-triangle loop over
+    :func:`~repro.raster.triangle.rasterize_triangle`, kept as the
+    equivalence oracle.
+
+Both paths accumulate per-phase wall-clock timers (clip / raster /
+access-gen / filter) surfaced in :attr:`RenderResult.phase_ms` and via
+``python -m repro render --profile``.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -23,12 +41,46 @@ import numpy as np
 from ..geometry.clip import clip_triangles_near
 from ..geometry.lighting import DirectionalLight, light_mesh
 from ..geometry.transform import ndc_to_screen
+from ..raster.batched import rasterize_triangles
 from ..raster.framebuffer import Framebuffer
 from ..raster.order import HorizontalOrder, TraversalOrder
 from ..raster.triangle import rasterize_triangle
 from ..raster.zbuffer import ZBuffer
-from ..texture.filtering import filter_colors, generate_accesses, generate_accesses_aniso
+from ..texture.filtering import (
+    TexelAccesses,
+    filter_colors,
+    generate_accesses,
+    generate_accesses_aniso,
+)
 from .trace import TexelTrace, TraceBuilder
+
+#: Selectable rasterization paths.
+RASTER_PATHS = ("batched", "reference")
+
+
+def check_raster(raster: str) -> str:
+    """Validate a rasterization-path name."""
+    if raster not in RASTER_PATHS:
+        raise ValueError(
+            f"unknown raster path {raster!r}; expected one of {RASTER_PATHS}")
+    return raster
+
+
+class _PhaseTimers:
+    """Accumulates wall-clock milliseconds per pipeline phase."""
+
+    PHASES = ("clip", "raster", "access_gen", "filter")
+
+    def __init__(self):
+        self.ms = {phase: 0.0 for phase in self.PHASES}
+        self._started = None
+
+    def start(self) -> None:
+        self._started = time.perf_counter()
+
+    def stop(self, phase: str) -> None:
+        self.ms[phase] += 1000.0 * (time.perf_counter() - self._started)
+        self._started = None
 
 
 @dataclass
@@ -41,6 +93,9 @@ class RenderResult:
     n_triangles_submitted: int
     n_triangles_rasterized: int
     per_triangle_fragments: np.ndarray = field(default=None)
+    #: Wall-clock milliseconds per pipeline phase (clip / raster /
+    #: access_gen / filter); ``None`` on store-loaded results.
+    phase_ms: Optional[dict] = None
 
     @property
     def n_accesses(self) -> int:
@@ -61,6 +116,9 @@ class Renderer:
     lighting:
         Optional :class:`DirectionalLight` applied per vertex when a
         mesh has no baked colors.
+    raster:
+        ``"batched"`` (default) or ``"reference"``; both produce
+        bit-identical output (see the module docstring).
     """
 
     def __init__(
@@ -72,6 +130,7 @@ class Renderer:
         max_anisotropy: int = 1,
         lod_bias: float = 0.0,
         use_mipmaps: bool = True,
+        raster: str = "batched",
     ):
         if max_anisotropy < 1:
             raise ValueError("max_anisotropy must be >= 1")
@@ -93,9 +152,12 @@ class Renderer:
         #: creating texture-space spatial locality; this switch is the
         #: ablation that proves it.
         self.use_mipmaps = use_mipmaps
+        self.raster = check_raster(raster)
 
     def render(self, scene) -> RenderResult:
         """Render ``scene`` (a :class:`repro.scenes.base.SceneData`)."""
+        timers = _PhaseTimers()
+        timers.start()
         width, height = scene.width, scene.height
         mesh = scene.mesh
         mipmaps = scene.get_mipmaps()
@@ -127,7 +189,19 @@ class Renderer:
         screen = screen.reshape(-1, 3, 2)
         ndc_z = ndc_z.reshape(-1, 3)
         inv_w = inv_w.reshape(-1, 3)
+        timers.stop("clip")
 
+        rasterize = (self._render_batched if self.raster == "batched"
+                     else self._render_reference)
+        return rasterize(scene, mipmaps, clipped, texture_ids,
+                         screen, ndc_z, inv_w, colors is not None,
+                         width, height, timers)
+
+    # -- per-triangle reference path -------------------------------------
+
+    def _render_reference(self, scene, mipmaps, clipped, texture_ids,
+                          screen, ndc_z, inv_w, has_colors,
+                          width, height, timers) -> RenderResult:
         framebuffer = Framebuffer(width, height) if self.produce_image else None
         zbuffer = ZBuffer(width, height) if self.produce_image else None
 
@@ -135,8 +209,8 @@ class Renderer:
         rasterized = 0
         per_triangle_fragments = np.zeros(clipped.n_triangles, dtype=np.int64)
 
-        has_colors = colors is not None
         for index in range(clipped.n_triangles):
+            timers.start()
             texture_id = int(texture_ids[index])
             mipmap = mipmaps[texture_id]
             tri_colors = None
@@ -149,58 +223,189 @@ class Renderer:
                 width=width, height=height, colors=tri_colors,
             )
             if batch is None or batch.n_fragments == 0:
+                timers.stop("raster")
                 continue
             rasterized += 1
             per_triangle_fragments[index] = batch.n_fragments
             batch = batch.reordered(self.order.argsort(batch.x, batch.y))
             if self.lod_bias:
                 batch.lod = batch.lod + self.lod_bias
+            timers.stop("raster")
 
-            if not self.use_mipmaps:
-                # GL_LINEAR: bilinear at level 0, whatever the lod.
-                accesses = generate_accesses(
-                    batch.u, batch.v, np.full(batch.n_fragments, -1.0),
-                    1, *mipmap.level_shape(0),
-                )
-            elif self.max_anisotropy > 1:
-                # LoD bias scales the footprint: 2**bias on derivatives.
-                bias_factor = 2.0 ** self.lod_bias if self.lod_bias else 1.0
-                accesses = generate_accesses_aniso(
-                    batch.u, batch.v,
-                    batch.dudx * bias_factor, batch.dvdx * bias_factor,
-                    batch.dudy * bias_factor, batch.dvdy * bias_factor,
-                    mipmap.n_levels, *mipmap.level_shape(0),
-                    max_aniso=self.max_anisotropy,
-                )
-            else:
-                accesses = generate_accesses(
-                    batch.u, batch.v, batch.lod,
-                    mipmap.n_levels, *mipmap.level_shape(0),
-                )
+            timers.start()
+            accesses = self._triangle_accesses(batch, mipmap)
             if self.record_positions:
                 builder.append(texture_id, accesses, batch.n_fragments,
                                fragment_x=batch.x, fragment_y=batch.y)
             else:
                 builder.append(texture_id, accesses, batch.n_fragments)
+            timers.stop("access_gen")
 
             if framebuffer is not None:
+                timers.start()
                 texel_rgba = filter_colors(mipmap, batch.u, batch.v, batch.lod)
                 rgb = texel_rgba[:, :3]
                 if batch.color is not None:
                     rgb = rgb * batch.color
                 passed = zbuffer.test_and_write(batch.x, batch.y, batch.z)
                 framebuffer.write(batch.x[passed], batch.y[passed], rgb[passed])
+                timers.stop("filter")
 
         return RenderResult(
             trace=builder.build(),
             framebuffer=framebuffer,
             n_fragments=builder.n_fragments,
-            n_triangles_submitted=mesh.n_triangles,
+            n_triangles_submitted=scene.mesh.n_triangles,
             n_triangles_rasterized=rasterized,
             per_triangle_fragments=per_triangle_fragments,
+            phase_ms=timers.ms,
         )
 
+    def _triangle_accesses(self, batch, mipmap) -> TexelAccesses:
+        """The access stream of one triangle's (reordered) fragments."""
+        if not self.use_mipmaps:
+            # GL_LINEAR: bilinear at level 0, whatever the lod.
+            return generate_accesses(
+                batch.u, batch.v, np.full(batch.n_fragments, -1.0),
+                1, *mipmap.level_shape(0),
+            )
+        if self.max_anisotropy > 1:
+            # LoD bias scales the footprint: 2**bias on derivatives.
+            bias_factor = 2.0 ** self.lod_bias if self.lod_bias else 1.0
+            return generate_accesses_aniso(
+                batch.u, batch.v,
+                batch.dudx * bias_factor, batch.dvdx * bias_factor,
+                batch.dudy * bias_factor, batch.dvdy * bias_factor,
+                mipmap.n_levels, *mipmap.level_shape(0),
+                max_aniso=self.max_anisotropy,
+            )
+        return generate_accesses(
+            batch.u, batch.v, batch.lod,
+            mipmap.n_levels, *mipmap.level_shape(0),
+        )
 
-def render_trace(scene, order: TraversalOrder = None) -> RenderResult:
+    # -- batched path ----------------------------------------------------
+
+    def _render_batched(self, scene, mipmaps, clipped, texture_ids,
+                        screen, ndc_z, inv_w, has_colors,
+                        width, height, timers) -> RenderResult:
+        timers.start()
+        uv = clipped.attrs[:, :, :2]
+        tri_colors = clipped.attrs[:, :, 2:5] if has_colors else None
+        level0 = np.array([mipmap.level_shape(0) for mipmap in mipmaps],
+                          dtype=np.int64).reshape(-1, 2)
+        fragments = rasterize_triangles(
+            screen, ndc_z, inv_w, uv,
+            texel_w=level0[texture_ids, 0], texel_h=level0[texture_ids, 1],
+            width=width, height=height,
+            colors=tri_colors if self.produce_image else None,
+            with_z=self.produce_image,
+            with_derivatives=self.use_mipmaps and self.max_anisotropy > 1,
+        )
+        # Restore the reference stream order: triangles in submission
+        # order, fragments in traversal order within each triangle.
+        fragments = fragments.take(self.order.grouped_argsort(
+            fragments.x, fragments.y, fragments.triangle,
+            within_rowmajor=True))
+        if self.lod_bias:
+            fragments.lod = fragments.lod + self.lod_bias
+        per_triangle_fragments = np.bincount(
+            fragments.triangle, minlength=clipped.n_triangles)
+        timers.stop("raster")
+
+        timers.start()
+        builder = TraceBuilder(record_positions=self.record_positions)
+        frag_texture = texture_ids[fragments.triangle]
+        # One access-generation call over the whole fragment stream:
+        # the filtering kernels are elementwise, so per-fragment pyramid
+        # geometry arrays (gathered through the texture id) produce the
+        # same accesses as per-texture calls -- already in fragment
+        # order, with no grouping or stitch sort.
+        accesses = self._stream_accesses(fragments, frag_texture,
+                                         mipmaps, level0)
+        builder.append_stream(
+            frag_texture.astype(np.int16)[accesses.fragment_index],
+            accesses, n_fragments=fragments.n_fragments,
+            fragment_x=fragments.x, fragment_y=fragments.y)
+        timers.stop("access_gen")
+
+        framebuffer = zbuffer = None
+        if self.produce_image:
+            timers.start()
+            framebuffer = Framebuffer(width, height)
+            zbuffer = ZBuffer(width, height)
+            self._resolve_image(fragments, frag_texture, mipmaps,
+                                framebuffer, zbuffer, width)
+            timers.stop("filter")
+
+        return RenderResult(
+            trace=builder.build(),
+            framebuffer=framebuffer,
+            n_fragments=builder.n_fragments,
+            n_triangles_submitted=scene.mesh.n_triangles,
+            n_triangles_rasterized=int((per_triangle_fragments > 0).sum()),
+            per_triangle_fragments=per_triangle_fragments,
+            phase_ms=timers.ms,
+        )
+
+    def _stream_accesses(self, fragments, frag_texture, mipmaps,
+                         level0) -> TexelAccesses:
+        """Access stream of the whole (multi-texture) fragment stream,
+        the array-geometry twin of :meth:`_triangle_accesses`."""
+        width0 = level0[frag_texture, 0]
+        height0 = level0[frag_texture, 1]
+        if not self.use_mipmaps:
+            return generate_accesses(
+                fragments.u, fragments.v,
+                np.full(fragments.n_fragments, -1.0), 1, width0, height0)
+        n_levels = np.array([mipmap.n_levels for mipmap in mipmaps],
+                            dtype=np.int64)[frag_texture]
+        if self.max_anisotropy > 1:
+            bias_factor = 2.0 ** self.lod_bias if self.lod_bias else 1.0
+            return generate_accesses_aniso(
+                fragments.u, fragments.v,
+                fragments.dudx * bias_factor, fragments.dvdx * bias_factor,
+                fragments.dudy * bias_factor, fragments.dvdy * bias_factor,
+                n_levels, width0, height0,
+                max_aniso=self.max_anisotropy,
+            )
+        return generate_accesses(fragments.u, fragments.v, fragments.lod,
+                                 n_levels, width0, height0)
+
+    def _resolve_image(self, fragments, frag_texture, mipmaps,
+                       framebuffer, zbuffer, width) -> None:
+        """Filter colors per texture and resolve visibility in one pass.
+
+        The reference path z-tests triangle by triangle with a strict
+        ``z < depth`` comparison, so the surviving fragment per pixel is
+        the minimum-z fragment, earliest in the stream among equal
+        depths.  A stable lexsort over (pixel, z) picks exactly that
+        winner, reproducing the final framebuffer and depth buffer.
+        """
+        n = fragments.n_fragments
+        if n == 0:
+            return
+        rgb = np.empty((n, 3), dtype=np.float64)
+        for texture_id in np.unique(frag_texture):
+            where = np.flatnonzero(frag_texture == texture_id)
+            rgba = filter_colors(mipmaps[texture_id], fragments.u[where],
+                                 fragments.v[where], fragments.lod[where])
+            rgb[where] = rgba[:, :3]
+        if fragments.color is not None:
+            rgb = rgb * fragments.color
+        pixel = fragments.y.astype(np.int64) * width + fragments.x
+        by_depth = np.lexsort((fragments.z, pixel))
+        pixel_sorted = pixel[by_depth]
+        first = np.concatenate([[True], pixel_sorted[1:] != pixel_sorted[:-1]])
+        winners = by_depth[first]
+        zbuffer.depth[fragments.y[winners], fragments.x[winners]] = \
+            fragments.z[winners]
+        framebuffer.write(fragments.x[winners], fragments.y[winners],
+                          rgb[winners])
+
+
+def render_trace(scene, order: TraversalOrder = None,
+                 raster: str = "batched") -> RenderResult:
     """Convenience: render ``scene`` for tracing only (no image)."""
-    return Renderer(order=order, produce_image=False).render(scene)
+    return Renderer(order=order, produce_image=False,
+                    raster=raster).render(scene)

@@ -161,6 +161,34 @@ class TraceBuilder:
             self._y.append(fragment_y[accesses.fragment_index].astype(np.int16))
         self.n_fragments += n_fragments
 
+    def append_stream(self, texture_id: np.ndarray, accesses: TexelAccesses,
+                      n_fragments: int, fragment_x: np.ndarray = None,
+                      fragment_y: np.ndarray = None) -> None:
+        """Record a pre-stitched multi-texture access stream (the
+        batched rasterizer's path).
+
+        Identical to :meth:`append` except ``texture_id`` is a
+        per-*access* array (the stream may interleave textures) and
+        ``accesses.fragment_index`` already refers to frame-global
+        fragment positions.
+        """
+        n = accesses.n_accesses
+        if n == 0:
+            return
+        self._texture_id.append(np.asarray(texture_id, dtype=np.int16))
+        self._level.append(accesses.level)
+        self._tu.append(accesses.tu)
+        self._tv.append(accesses.tv)
+        self._tu_raw.append(accesses.tu_raw)
+        self._tv_raw.append(accesses.tv_raw)
+        self._kind.append(accesses.kind)
+        if self._x is not None:
+            if fragment_x is None or fragment_y is None:
+                raise ValueError("record_positions builder needs fragment_x/y")
+            self._x.append(fragment_x[accesses.fragment_index].astype(np.int16))
+            self._y.append(fragment_y[accesses.fragment_index].astype(np.int16))
+        self.n_fragments += n_fragments
+
     def build(self) -> TexelTrace:
         if not self._texture_id:
             empty32 = np.empty(0, dtype=np.int32)
@@ -174,18 +202,25 @@ class TraceBuilder:
                 x=empty16 if self._x is not None else None,
                 y=empty16 if self._y is not None else None,
             )
+        merge = self._merge
         return TexelTrace(
-            texture_id=np.concatenate(self._texture_id),
-            level=np.concatenate(self._level),
-            tu=np.concatenate(self._tu),
-            tv=np.concatenate(self._tv),
-            tu_raw=np.concatenate(self._tu_raw),
-            tv_raw=np.concatenate(self._tv_raw),
-            kind=np.concatenate(self._kind),
+            texture_id=merge(self._texture_id),
+            level=merge(self._level),
+            tu=merge(self._tu),
+            tv=merge(self._tv),
+            tu_raw=merge(self._tu_raw),
+            tv_raw=merge(self._tv_raw),
+            kind=merge(self._kind),
             n_fragments=self.n_fragments,
-            x=np.concatenate(self._x) if self._x is not None else None,
-            y=np.concatenate(self._y) if self._y is not None else None,
+            x=merge(self._x) if self._x is not None else None,
+            y=merge(self._y) if self._y is not None else None,
         )
+
+    @staticmethod
+    def _merge(parts: list) -> np.ndarray:
+        # A single batch (the batched rasterizer's stitched stream)
+        # needs no concatenate copy.
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
 
 
 __all__ = [

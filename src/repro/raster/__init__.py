@@ -2,6 +2,7 @@
 depth test and framebuffer (paper Sections 2 and 6)."""
 
 from .triangle import FragmentBatch, rasterize_triangle
+from .batched import BatchedFragments, rasterize_triangles
 from .order import (
     HilbertOrder,
     HorizontalOrder,
@@ -16,6 +17,8 @@ from .framebuffer import Framebuffer
 __all__ = [
     "FragmentBatch",
     "rasterize_triangle",
+    "BatchedFragments",
+    "rasterize_triangles",
     "TraversalOrder",
     "HorizontalOrder",
     "VerticalOrder",

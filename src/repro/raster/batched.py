@@ -1,0 +1,394 @@
+"""Triangle-batched rasterization: the cold render path, vectorized.
+
+:func:`repro.raster.triangle.rasterize_triangle` is exact but pays the
+per-item-Python price: one call per triangle on arrays that average a
+few hundred candidates.  This module evaluates *bins* of triangles at
+once -- every edge function, barycentric weight and perspective-correct
+attribute computed over one flat ``(n_candidates,)`` array -- while
+producing **bit-identical** fragments:
+
+* per-candidate work gathers each triangle's setup scalars through the
+  candidate's owner index, so every fragment undergoes exactly the same
+  sequence of IEEE-754 operations as the per-triangle path (elementwise
+  numpy arithmetic is value-identical whether the other operand is a
+  broadcast scalar or a gathered array);
+* candidates enumerate each bounding box row-major, matching the
+  reference ``meshgrid`` flattening, so fragments come out in the same
+  within-triangle order;
+* triangles are binned by bounding-box area class (chunked under a
+  candidate budget to bound peak memory), and the renderer restores
+  global (submission, traversal) order afterwards with a single stable
+  lexsort -- see :meth:`repro.raster.order.TraversalOrder.grouped_argsort`.
+
+The reference path remains selectable (``Renderer(raster="reference")``)
+and the golden-equivalence suite asserts the two produce identical
+traces, framebuffers and per-triangle fragment counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Optional
+
+import numpy as np
+
+from .triangle import _plane_gradients
+
+
+@dataclass
+class BatchedFragments:
+    """Fragments of many triangles in one structure-of-arrays.
+
+    Arrays share length ``n_fragments``; ``triangle`` maps every
+    fragment back to the (clipped) triangle that produced it.  Fresh
+    from :func:`rasterize_triangles` the fragments are grouped by size
+    bin, row-major within each triangle; apply
+    ``order.grouped_argsort(x, y, triangle)`` (via :meth:`take`) to
+    obtain the reference renderer's (submission, traversal) order.
+
+    ``z``, the texel-space derivatives and ``color`` are present only
+    when requested from :func:`rasterize_triangles` -- a trace-only
+    render without anisotropy needs none of them, and skipping the
+    interpolation, concatenation and permutation of five float64
+    columns is a measurable slice of the cold render.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    u: np.ndarray
+    v: np.ndarray
+    lod: np.ndarray
+    triangle: np.ndarray
+    z: Optional[np.ndarray] = None
+    dudx: Optional[np.ndarray] = None
+    dvdx: Optional[np.ndarray] = None
+    dudy: Optional[np.ndarray] = None
+    dvdy: Optional[np.ndarray] = None
+    color: Optional[np.ndarray] = None
+
+    @property
+    def n_fragments(self) -> int:
+        return len(self.x)
+
+    def take(self, perm: np.ndarray) -> "BatchedFragments":
+        """The fragments permuted by ``perm``."""
+        return BatchedFragments(**{
+            f.name: None if (value := getattr(self, f.name)) is None
+            else value[perm]
+            for f in fields(self)})
+
+
+def _empty_fragments(has_colors: bool, with_z: bool,
+                     with_derivatives: bool) -> BatchedFragments:
+    f64 = np.empty(0, dtype=np.float64)
+    derivs = ({name: f64.copy() for name in ("dudx", "dvdx", "dudy", "dvdy")}
+              if with_derivatives else {})
+    return BatchedFragments(
+        x=np.empty(0, dtype=np.int32), y=np.empty(0, dtype=np.int32),
+        u=f64.copy(), v=f64.copy(), lod=f64.copy(),
+        triangle=np.empty(0, dtype=np.int64),
+        z=f64.copy() if with_z else None,
+        color=np.empty((0, 3), dtype=np.float64) if has_colors else None,
+        **derivs,
+    )
+
+
+def _budget_chunks(sizes: np.ndarray, budget: int) -> list:
+    """Split ``range(len(sizes))`` into consecutive chunks whose sizes
+    sum to at most ``budget`` (a chunk always takes at least one
+    item)."""
+    boundaries = [0]
+    acc = 0
+    for index, size in enumerate(sizes):
+        if acc and acc + size > budget:
+            boundaries.append(index)
+            acc = 0
+        acc += int(size)
+    boundaries.append(len(sizes))
+    return [(boundaries[i], boundaries[i + 1])
+            for i in range(len(boundaries) - 1)]
+
+
+def rasterize_triangles(
+    screen: np.ndarray,
+    ndc_z: np.ndarray,
+    inv_w: np.ndarray,
+    uv: np.ndarray,
+    texel_w: np.ndarray,
+    texel_h: np.ndarray,
+    width: int,
+    height: int,
+    colors: Optional[np.ndarray] = None,
+    bin_candidate_budget: int = 1 << 20,
+    with_z: bool = True,
+    with_derivatives: bool = True,
+) -> BatchedFragments:
+    """Rasterize ``m`` screen-space triangles in area-class bins.
+
+    Parameters mirror :func:`~repro.raster.triangle.rasterize_triangle`
+    lifted to a leading triangle axis: ``screen`` is ``(m, 3, 2)``,
+    ``ndc_z``/``inv_w`` are ``(m, 3)``, ``uv`` is ``(m, 3, 2)``,
+    ``colors`` optionally ``(m, 3, 3)``.  ``texel_w``/``texel_h`` give
+    each triangle's texture level-0 dimensions (the per-triangle
+    ``texture_size`` of the reference API).  ``bin_candidate_budget``
+    caps the flat candidate array evaluated at once, bounding peak
+    memory independent of scene scale.  ``with_z=False`` /
+    ``with_derivatives=False`` skip interpolating depth / carrying the
+    texel-space derivative columns (a trace-only render without
+    anisotropic filtering needs neither).
+    """
+    screen = np.asarray(screen, dtype=np.float64)
+    m = len(screen)
+    has_colors = colors is not None
+    if m == 0:
+        return _empty_fragments(has_colors, with_z, with_derivatives)
+
+    # Per-triangle setup, winding normalized exactly like the
+    # per-triangle path (swap vertices 1 and 2, negate the area).
+    sx = screen[:, :, 0].astype(np.float64, copy=True)
+    sy = screen[:, :, 1].astype(np.float64, copy=True)
+    ndc_z = np.array(ndc_z, dtype=np.float64, copy=True)
+    inv_w = np.array(inv_w, dtype=np.float64, copy=True)
+    uv = np.array(uv, dtype=np.float64, copy=True)
+    if has_colors:
+        colors = np.array(colors, dtype=np.float64, copy=True)
+
+    area2 = ((sx[:, 1] - sx[:, 0]) * (sy[:, 2] - sy[:, 0])
+             - (sx[:, 2] - sx[:, 0]) * (sy[:, 1] - sy[:, 0]))
+    flip = area2 < 0.0
+    if flip.any():
+        swap = np.array([0, 2, 1])
+        for array in (sx, sy, ndc_z, inv_w, uv) + ((colors,) if has_colors else ()):
+            array[flip] = array[flip][:, swap]
+        area2 = np.where(flip, -area2, area2)
+
+    min_x = np.maximum(np.floor(sx.min(axis=1)).astype(np.int64), 0)
+    max_x = np.minimum(np.ceil(sx.max(axis=1)).astype(np.int64), width - 1)
+    min_y = np.maximum(np.floor(sy.min(axis=1)).astype(np.int64), 0)
+    max_y = np.minimum(np.ceil(sy.max(axis=1)).astype(np.int64), height - 1)
+    valid = (area2 != 0.0) & (min_x <= max_x) & (min_y <= max_y)
+    bbox_w = max_x - min_x + 1
+    counts = np.where(valid, bbox_w * (max_y - min_y + 1), 0)
+
+    if not valid.any():
+        return _empty_fragments(has_colors, with_z, with_derivatives)
+
+    # Screen-space attribute gradients (shared by every fragment of a
+    # triangle), computed once over the valid subset.  _plane_gradients
+    # runs elementwise, so feeding (3, m) vertex-major arrays performs
+    # the identical arithmetic the per-triangle scalars see.
+    grad = {}
+    live = np.flatnonzero(valid)
+    for name, values in (("u", uv[live, :, 0] * inv_w[live]),
+                         ("v", uv[live, :, 1] * inv_w[live]),
+                         ("q", inv_w[live])):
+        gx = np.zeros(m)
+        gy = np.zeros(m)
+        gx[live], gy[live] = _plane_gradients(
+            sx[live].T, sy[live].T, values.T, area2[live])
+        grad[name] = (gx, gy)
+
+    # Per-triangle edge setup, hoisted out of the per-bin loop as flat
+    # contiguous arrays (one fancy-index gather per field per bin).
+    edge_sx, edge_sy, edge_ex, edge_ey, edge_tl = [], [], [], [], []
+    for i in range(3):
+        j = (i + 1) % 3
+        ex = sx[:, j] - sx[:, i]
+        ey = sy[:, j] - sy[:, i]
+        edge_sx.append(np.ascontiguousarray(sx[:, i]))
+        edge_sy.append(np.ascontiguousarray(sy[:, i]))
+        edge_ex.append(ex)
+        edge_ey.append(ey)
+        edge_tl.append((ey < 0.0) | ((ey == 0.0) & (ex > 0.0)))
+
+    # Clamped bounds and bin indices fit comfortably in int32 (screen
+    # coordinates and triangle counts); the narrower candidate-stage
+    # arithmetic in _rasterize_bin halves its memory traffic.  Vertex
+    # attributes are stored as contiguous 1D columns: gathering a
+    # strided view like ``uv[tri, 0, 0]`` costs about twice a
+    # contiguous-source gather.
+    setup = dict(edge_sx=edge_sx, edge_sy=edge_sy, edge_ex=edge_ex,
+                 edge_ey=edge_ey, edge_tl=edge_tl,
+                 ndc_z=[np.ascontiguousarray(ndc_z[:, k]) for k in range(3)],
+                 inv_w=[np.ascontiguousarray(inv_w[:, k]) for k in range(3)],
+                 uv=[[np.ascontiguousarray(uv[:, k, j]) for j in (0, 1)]
+                     for k in range(3)],
+                 colors=colors, area2=area2,
+                 min_x=min_x.astype(np.int32), min_y=min_y.astype(np.int32),
+                 bbox_w=bbox_w.astype(np.int32),
+                 bbox_h=(max_y - min_y + 1).astype(np.int32),
+                 counts=counts, grad=grad,
+                 texel_w=np.asarray(texel_w, dtype=np.int64),
+                 texel_h=np.asarray(texel_h, dtype=np.int64),
+                 with_z=with_z, with_derivatives=with_derivatives)
+
+    # Bin by bounding-box area class so one flat pass mixes triangles
+    # of comparable candidate counts, chunked under the memory budget.
+    classes = np.frexp(counts.astype(np.float64))[1]
+    bins = []
+    for area_class in np.unique(classes[valid]):
+        members = np.flatnonzero(valid & (classes == area_class))
+        for start, end in _budget_chunks(counts[members],
+                                         max(bin_candidate_budget, 1)):
+            bins.append(members[start:end])
+
+    pieces = [piece for tri_idx in bins
+              for piece in (_rasterize_bin(tri_idx, setup),)
+              if piece["x"].size]
+    if not pieces:
+        return _empty_fragments(has_colors, with_z, with_derivatives)
+    merged = {key: (pieces[0][key] if len(pieces) == 1
+                    else np.concatenate([piece[key] for piece in pieces]))
+              for key in pieces[0]}
+    return BatchedFragments(**merged)
+
+
+def _bbox_candidates(tri_idx: np.ndarray, setup: dict, bt) -> tuple:
+    """Flat candidates covering every bounding-box pixel, row-major."""
+    counts = bt(setup["counts"])
+    starts = np.cumsum(counts) - counts
+    total = int(counts.sum())
+    # Flat candidate offsets fit int32 (bins are chunked under the
+    # candidate budget); the narrow divmod is several times faster than
+    # int64.  Index arrays (local, lin) stay at the platform intp width
+    # -- numpy re-casts narrower fancy indices on every gather.
+    itype = np.int32 if total <= np.iinfo(np.int32).max else np.int64
+    local = np.repeat(np.arange(len(tri_idx)), counts)
+    flat = np.arange(total, dtype=itype) - starts.astype(itype)[local]
+    row, col = np.divmod(flat, bt(setup["bbox_w"])[local])
+    px = (bt(setup["min_x"])[local] + col) + 0.5
+    py = (bt(setup["min_y"])[local] + row) + 0.5
+    return local, px, py
+
+
+def _span_candidates(tri_idx: np.ndarray, setup: dict, bt) -> tuple:
+    """Flat candidates restricted to conservative per-row column spans.
+
+    Each edge with ``ey != 0`` bounds ``px`` on one side of its line;
+    intersecting those half-planes with the bounding box per scan line
+    drops most candidates the edge test would reject.  A full pixel of
+    slack on every bound plus NaN-ignoring ``fmin``/``fmax`` make the
+    spans safe against floating-point rounding (and against overflowing
+    ``ex / ey`` on near-horizontal edges), so the candidate *sequence*
+    -- row-major per triangle -- loses only pixels that are strictly
+    outside, and the downstream edge test stays authoritative.
+    """
+    bbox_h = bt(setup["bbox_h"])
+    rstarts = np.cumsum(bbox_h) - bbox_h
+    n_rows = int(bbox_h.sum())
+    min_x = bt(setup["min_x"])
+    rlocal = np.repeat(np.arange(len(tri_idx)), bbox_h)
+    rix = np.arange(n_rows, dtype=np.int32) - rstarts.astype(np.int32)[rlocal]
+    py_row = (bt(setup["min_y"])[rlocal] + rix) + 0.5
+
+    hi = np.full(n_rows, np.inf)
+    lo = np.full(n_rows, -np.inf)
+    for i in range(3):
+        ey = bt(setup["edge_ey"][i])
+        with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
+            slope = np.where(ey != 0.0, bt(setup["edge_ex"][i]) / ey, 0.0)
+            bound = (bt(setup["edge_sx"][i])[rlocal]
+                     + (py_row - bt(setup["edge_sy"][i])[rlocal])
+                     * slope[rlocal]
+                     - min_x[rlocal]) - 0.5
+        ey_row = ey[rlocal]
+        hi = np.where(ey_row > 0.0, np.fmin(hi, np.floor(bound) + 1.0), hi)
+        lo = np.where(ey_row < 0.0, np.fmax(lo, np.ceil(bound) - 1.0), lo)
+    width_row = bt(setup["bbox_w"])[rlocal]
+    lo = np.minimum(np.maximum(lo, 0.0), width_row).astype(np.int32)
+    hi = np.minimum(np.maximum(hi, -1.0), width_row - 1).astype(np.int32)
+    span = np.maximum(hi - lo + 1, 0)
+
+    starts = np.cumsum(span) - span
+    total = int(span.sum())
+    cand = np.repeat(np.arange(n_rows), span)
+    col = lo[cand] + (np.arange(total, dtype=np.int32)
+                      - starts.astype(np.int32)[cand])
+    local = rlocal[cand]
+    px = (min_x[local] + col) + 0.5
+    return local, px, py_row[cand]
+
+
+def _rasterize_bin(tri_idx: np.ndarray, setup: dict) -> dict:
+    """Evaluate one bin of triangles over a flat candidate array."""
+
+    def bt(field):
+        # Compact a per-triangle field to a bin-local table: the
+        # candidate/fragment-sized gathers below then read small,
+        # cache-resident tables through the bin-local owner index.
+        return field[tri_idx]
+
+    counts = bt(setup["counts"])
+    total_full = int(counts.sum())
+    n_rows = int(bt(setup["bbox_h"]).sum())
+    # Candidate pixel centers, row-major per bounding box (the
+    # reference path's meshgrid flattening order).  Wide bounding boxes
+    # go through conservative per-row column spans, which drop
+    # candidates that are provably outside before the edge stage; both
+    # enumerations yield identical (local, px, py) sequences up to
+    # candidates the edge test rejects anyway.
+    if total_full >= 4 * n_rows:
+        local, px, py = _span_candidates(tri_idx, setup, bt)
+    else:
+        local, px, py = _bbox_candidates(tri_idx, setup, bt)
+    total = len(local)
+
+    inside = np.ones(total, dtype=bool)
+    edges = []
+    for i in range(3):
+        e = ((py - bt(setup["edge_sy"][i])[local])
+             * bt(setup["edge_ex"][i])[local]
+             - (px - bt(setup["edge_sx"][i])[local])
+             * bt(setup["edge_ey"][i])[local])
+        inside &= np.where(bt(setup["edge_tl"][i])[local], e >= 0.0, e > 0.0)
+        edges.append(e)
+
+    lin = local[inside]  # bin-local owner per surviving fragment
+    tri = tri_idx[lin]
+    frag_x = (px[inside] - 0.5).astype(np.int32)
+    frag_y = (py[inside] - 0.5).astype(np.int32)
+    area2 = bt(setup["area2"])[lin]
+    l0 = edges[1][inside] / area2
+    l1 = edges[2][inside] / area2
+    l2 = edges[0][inside] / area2
+
+    iw = [bt(column)[lin] for column in setup["inv_w"]]
+    uv = [[bt(column)[lin] for column in vertex] for vertex in setup["uv"]]
+    one_over_w = l0 * iw[0] + l1 * iw[1] + l2 * iw[2]
+    u_over_w = (l0 * uv[0][0] * iw[0] + l1 * uv[1][0] * iw[1]
+                + l2 * uv[2][0] * iw[2])
+    v_over_w = (l0 * uv[0][1] * iw[0] + l1 * uv[1][1] * iw[1]
+                + l2 * uv[2][1] * iw[2])
+    frag_u = u_over_w / one_over_w
+    frag_v = v_over_w / one_over_w
+
+    # Exact derivatives of the texel coordinates (texel units), then
+    # the level of detail -- same expressions as _level_of_detail.
+    (gu_x, gu_y), (gv_x, gv_y), (gq_x, gq_y) = (
+        setup["grad"]["u"], setup["grad"]["v"], setup["grad"]["q"])
+    texel_w = bt(setup["texel_w"])[lin]
+    texel_h = bt(setup["texel_h"])[lin]
+    q2 = one_over_w * one_over_w
+    du_dx = (bt(gu_x)[lin] * one_over_w - u_over_w * bt(gq_x)[lin]) / q2 * texel_w
+    du_dy = (bt(gu_y)[lin] * one_over_w - u_over_w * bt(gq_y)[lin]) / q2 * texel_w
+    dv_dx = (bt(gv_x)[lin] * one_over_w - v_over_w * bt(gq_x)[lin]) / q2 * texel_h
+    dv_dy = (bt(gv_y)[lin] * one_over_w - v_over_w * bt(gq_y)[lin]) / q2 * texel_h
+    rho_x = np.sqrt(du_dx * du_dx + dv_dx * dv_dx)
+    rho_y = np.sqrt(du_dy * du_dy + dv_dy * dv_dy)
+    rho = np.maximum(np.maximum(rho_x, rho_y), 1e-12)
+
+    piece = dict(x=frag_x, y=frag_y, u=frag_u, v=frag_v,
+                 lod=np.log2(rho), triangle=tri)
+    if setup["with_z"]:
+        ndc_z = setup["ndc_z"]
+        piece["z"] = (l0 * bt(ndc_z[0])[lin] + l1 * bt(ndc_z[1])[lin]
+                      + l2 * bt(ndc_z[2])[lin])
+    if setup["with_derivatives"]:
+        piece.update(dudx=du_dx, dvdx=dv_dx, dudy=du_dy, dvdy=dv_dy)
+    colors = setup["colors"]
+    if colors is not None:
+        vertex_colors = bt(colors)
+        piece["color"] = (l0[:, None] * vertex_colors[lin, 0]
+                         + l1[:, None] * vertex_colors[lin, 1]
+                         + l2[:, None] * vertex_colors[lin, 2])
+    return piece

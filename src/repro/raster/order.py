@@ -30,22 +30,104 @@ class TraversalOrder(ABC):
 
     name: str = "order"
 
+    #: True when the traversal equals row-major (y, then x) order --
+    #: lets :meth:`grouped_argsort` skip per-fragment keys entirely for
+    #: input that is already row-major within each group.
+    is_rowmajor: bool = False
+
     @abstractmethod
     def argsort(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Permutation putting fragments at ``(x, y)`` in traversal
         order."""
 
+    def sort_keys(self, x: np.ndarray, y: np.ndarray):
+        """``np.lexsort`` keys (least to most significant) realizing
+        :meth:`argsort`, or ``None`` if the order cannot express itself
+        as lexsort keys.  Orders that can supply keys let the batched
+        rasterizer sort *every* triangle's fragments with one stable
+        lexsort (triangle index appended as the most significant key)
+        instead of one ``argsort`` call per triangle.
+        """
+        return None
+
+    def grouped_argsort(self, x: np.ndarray, y: np.ndarray,
+                        group: np.ndarray,
+                        within_rowmajor: bool = False) -> np.ndarray:
+        """Permutation sorting fragments by ``group`` ascending and in
+        traversal order within each group.
+
+        Equivalent to concatenating ``argsort`` applied to each group
+        separately (groups need not arrive contiguous).  Stability
+        matches the per-group path: ties inside a group keep their
+        relative input order.  ``within_rowmajor=True`` asserts each
+        group's fragments already arrive in row-major order (the
+        batched rasterizer's enumeration); a row-major traversal then
+        reduces to one stable sort by group.
+        """
+        if within_rowmajor and self.is_rowmajor:
+            return np.argsort(group, kind="stable")
+        keys = self.sort_keys(x, y)
+        if keys is not None:
+            composite = _composite_key(tuple(keys) + (group,))
+            if composite is not None:
+                return np.argsort(composite, kind="stable")
+            return np.lexsort(tuple(keys) + (group,))
+        # Generic fallback for orders without lexsort keys: stable-sort
+        # by group, then argsort each group through the scalar API.
+        base = np.argsort(group, kind="stable")
+        grouped = group[base]
+        starts = np.flatnonzero(
+            np.concatenate([[True], grouped[1:] != grouped[:-1]]))
+        ends = np.concatenate([starts[1:], [len(grouped)]])
+        perm = np.empty(len(base), dtype=np.int64)
+        for start, end in zip(starts, ends):
+            members = base[start:end]
+            perm[start:end] = members[self.argsort(x[members], y[members])]
+        return perm
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name}>"
+
+
+def _composite_key(keys):
+    """Pack integer lexsort ``keys`` (least to most significant) into
+    one int64 sort key, or ``None`` when a key is non-integer or the
+    packed range would overflow.
+
+    A single stable argsort of the packed key yields exactly the
+    ``np.lexsort`` permutation -- ties in the composite are ties in
+    every component, so stability preserves the same input order --
+    while sorting one int64 array beats lexsort's pass per key.
+    """
+    stride = 1
+    total = None
+    for key in keys:
+        key = np.asarray(key)
+        if key.size == 0 or not np.issubdtype(key.dtype, np.integer):
+            return None
+        low = int(key.min())
+        span = int(key.max()) - low + 1
+        if stride > (1 << 62) // span:
+            return None
+        shifted = (key.astype(np.int64) - low) * stride
+        total = shifted if total is None else total + shifted
+        stride *= span
+    if stride <= np.iinfo(np.int32).max:
+        return total.astype(np.int32)  # halves the radix-sort passes
+    return total
 
 
 class HorizontalOrder(TraversalOrder):
     """Row-major: left-to-right within a scan line, top-to-bottom."""
 
     name = "horizontal"
+    is_rowmajor = True
 
     def argsort(self, x, y):
         return np.lexsort((x, y))
+
+    def sort_keys(self, x, y):
+        return (x, y)
 
 
 class VerticalOrder(TraversalOrder):
@@ -55,6 +137,9 @@ class VerticalOrder(TraversalOrder):
 
     def argsort(self, x, y):
         return np.lexsort((y, x))
+
+    def sort_keys(self, x, y):
+        return (y, x)
 
 
 class TiledOrder(TraversalOrder):
@@ -83,6 +168,9 @@ class TiledOrder(TraversalOrder):
         self.name = f"tiled{tile_w}x{tile_h}{suffix}"
 
     def argsort(self, x, y):
+        return np.lexsort(self.sort_keys(x, y))
+
+    def sort_keys(self, x, y):
         tile_x = x // self.tile_w
         tile_y = y // self.tile_h
         if self.within == "row":
@@ -93,7 +181,7 @@ class TiledOrder(TraversalOrder):
             outer = (tile_x, tile_y)
         else:
             outer = (tile_y, tile_x)
-        return np.lexsort(inner + outer)
+        return inner + outer
 
 
 def _hilbert_d(order_bits: int, x: np.ndarray, y: np.ndarray) -> np.ndarray:
@@ -136,12 +224,15 @@ class HilbertOrder(TraversalOrder):
         self.name = f"hilbert{order_bits}"
 
     def argsort(self, x, y):
+        return np.argsort(self.sort_keys(x, y)[0], kind="stable")
+
+    def sort_keys(self, x, y):
         side = 1 << self.order_bits
         if len(x) and (x.max() >= side or y.max() >= side):
             raise ValueError(
                 f"screen exceeds the 2^{self.order_bits} Hilbert grid"
             )
-        return np.argsort(_hilbert_d(self.order_bits, x, y), kind="stable")
+        return (_hilbert_d(self.order_bits, x, y),)
 
 
 def make_order(spec: str, **kwargs) -> TraversalOrder:

@@ -53,10 +53,17 @@ class FragmentBatch:
     def n_fragments(self) -> int:
         return len(self.x)
 
+    #: Optional fields, permuted only when present (``None`` stays
+    #: ``None`` -- no allocation).
+    _OPTIONAL_FIELDS = ("color", "dudx", "dvdx", "dudy", "dvdy")
+
     def reordered(self, order: np.ndarray) -> "FragmentBatch":
         """Apply a traversal-order permutation."""
-        def pick(array):
-            return None if array is None else array[order]
+        picked = {
+            name: value[order]
+            for name in self._OPTIONAL_FIELDS
+            if (value := getattr(self, name)) is not None
+        }
         return FragmentBatch(
             x=self.x[order],
             y=self.y[order],
@@ -64,11 +71,7 @@ class FragmentBatch:
             u=self.u[order],
             v=self.v[order],
             lod=self.lod[order],
-            color=pick(self.color),
-            dudx=pick(self.dudx),
-            dvdx=pick(self.dvdx),
-            dudy=pick(self.dudy),
-            dvdy=pick(self.dvdy),
+            **picked,
         )
 
 

@@ -55,8 +55,13 @@ class TexelAccesses:
         return len(self.level)
 
 
-def _level_dims(width0: int, height0: int, levels: np.ndarray) -> tuple:
-    """Per-fragment level dimensions, clamped at 1."""
+def _level_dims(width0, height0, levels: np.ndarray) -> tuple:
+    """Per-fragment level dimensions, clamped at 1.
+
+    ``width0``/``height0`` may be scalars (one texture) or per-fragment
+    arrays (a multi-texture fragment stream); the arithmetic is
+    elementwise either way.
+    """
     widths = np.maximum(width0 >> levels, 1)
     heights = np.maximum(height0 >> levels, 1)
     return widths, heights
@@ -100,7 +105,11 @@ def generate_accesses(
         Per-fragment level of detail, ``log2`` of the screen-pixel to
         texel ratio.
     n_levels, width0, height0:
-        Pyramid geometry of the texture being sampled.
+        Pyramid geometry of the texture being sampled: scalars for a
+        single texture, or per-fragment arrays for a mixed-texture
+        fragment stream (the batched renderer).  Every computation is
+        elementwise, so the two spellings produce bit-identical
+        accesses fragment by fragment.
 
     Returns
     -------
@@ -123,48 +132,110 @@ def generate_accesses(
     lo_w, lo_h = _level_dims(width0, height0, lower)
     hi_w, hi_h = _level_dims(width0, height0, upper)
 
-    lo_tu_raw, lo_tv_raw = _corner_coords(u, v, lo_w, lo_h)
-    hi_tu_raw, hi_tv_raw = _corner_coords(u, v, hi_w, hi_h)
+    if trilinear.all():
+        # Every fragment emits all eight accesses: assemble (n, 8)
+        # tables -- lower-level quad then upper-level quad -- by direct
+        # column writes in the *output* dtypes, so the flatten is a
+        # zero-copy reshape.  Keeping the tables at output width
+        # (int32/int16/uint8 rather than int64) halves the pages the
+        # kernel touches; the int64 -> int32 assignment casts truncate
+        # exactly like the reference's later ``astype`` did.
+        tu_raw = np.empty((n, 8), dtype=np.int32)
+        tv_raw = np.empty((n, 8), dtype=np.int32)
+        tu_wrapped = np.empty((n, 8), dtype=np.int32)
+        tv_wrapped = np.empty((n, 8), dtype=np.int32)
+        level8 = np.empty((n, 8), dtype=np.int16)
+        for base, widths, heights, levels in ((0, lo_w, lo_h, lower),
+                                              (4, hi_w, hi_h, upper)):
+            i0 = np.floor(u * widths - 0.5).astype(np.int64)
+            j0 = np.floor(v * heights - 0.5).astype(np.int64)
+            i1 = i0 + 1
+            j1 = j0 + 1
+            quad = slice(base, base + 4)
+            tu_raw[:, base] = i0
+            tu_raw[:, base + 1] = i1
+            tu_raw[:, base + 2] = i0
+            tu_raw[:, base + 3] = i1
+            tv_raw[:, base] = j0
+            tv_raw[:, base + 1] = j0
+            tv_raw[:, base + 2] = j1
+            tv_raw[:, base + 3] = j1
+            # Power-of-two wrap commutes with the int32 truncation:
+            # the mask is < 2**31, so (x & mask) keeps only low bits
+            # either way.
+            tu_wrapped[:, quad] = (tu_raw[:, quad]
+                                   & (widths - 1).astype(np.int32)[:, None])
+            tv_wrapped[:, quad] = (tv_raw[:, quad]
+                                   & (heights - 1).astype(np.int32)[:, None])
+            level8[:, quad] = levels[:, None]
+        kind8 = np.empty((n, 8), dtype=np.uint8)
+        kind8[:, :4] = KIND_LOWER
+        kind8[:, 4:] = KIND_UPPER
+        return TexelAccesses(
+            level=level8.reshape(-1),
+            tu=tu_wrapped.reshape(-1),
+            tv=tv_wrapped.reshape(-1),
+            tu_raw=tu_raw.reshape(-1),
+            tv_raw=tv_raw.reshape(-1),
+            kind=kind8.reshape(-1),
+            fragment_index=np.repeat(np.arange(n, dtype=np.int64), 8),
+        )
 
-    # Assemble an (n, 8) table: lower-level quad then upper-level quad.
-    tu_raw = np.concatenate([lo_tu_raw, hi_tu_raw], axis=1)
-    tv_raw = np.concatenate([lo_tv_raw, hi_tv_raw], axis=1)
-    level8 = np.concatenate(
-        [np.repeat(lower[:, None], 4, axis=1), np.repeat(upper[:, None], 4, axis=1)],
-        axis=1,
-    )
-    widths8 = np.concatenate(
-        [np.repeat(lo_w[:, None], 4, axis=1), np.repeat(hi_w[:, None], 4, axis=1)], axis=1
-    )
-    heights8 = np.concatenate(
-        [np.repeat(lo_h[:, None], 4, axis=1), np.repeat(hi_h[:, None], 4, axis=1)], axis=1
-    )
-    kind8 = np.where(
-        trilinear[:, None],
-        np.concatenate(
-            [np.full((n, 4), KIND_LOWER, np.uint8), np.full((n, 4), KIND_UPPER, np.uint8)],
-            axis=1,
-        ),
-        np.full((n, 8), KIND_BILINEAR, np.uint8),
-    )
-    fragment8 = np.repeat(np.arange(n, dtype=np.int64)[:, None], 8, axis=1)
+    # Mixed trilinear/bilinear: magnified fragments emit only the lower
+    # quad.  Rather than assembling dense (n, 8) tables and gathering
+    # the sparse subset, treat the output as a sequence of emitted
+    # *quads* -- each fragment contributes its lower quad and, when
+    # trilinear, its upper quad, so every column is a per-quad value
+    # (from interleaved (lower, upper) per-fragment pair tables)
+    # expanded four ways, plus fixed 4-periodic slot bits advancing
+    # i and j.  All per-access arithmetic runs at the output width
+    # (int32): the int64 -> int32 assignment into the pair tables
+    # truncates exactly like the reference's ``astype``,
+    # two's-complement ``+ 1`` commutes with that truncation, and the
+    # power-of-two wrap mask (< 2**31) keeps only low bits either way.
+    i0_lo = np.floor(u * lo_w - 0.5).astype(np.int64)
+    j0_lo = np.floor(v * lo_h - 0.5).astype(np.int64)
+    i0_hi = np.floor(u * hi_w - 0.5).astype(np.int64)
+    j0_hi = np.floor(v * hi_h - 0.5).astype(np.int64)
 
-    # Magnified fragments emit only the level-0 quad (first 4 columns).
-    emit = np.ones((n, 8), dtype=bool)
-    emit[~trilinear, 4:] = False
-    flat = emit.ravel()
+    def pairs(lo_values, hi_values, dtype=np.int32):
+        table = np.empty((n, 2), dtype=dtype)
+        table[:, 0] = lo_values
+        table[:, 1] = hi_values
+        return table.ravel()
 
-    tu_wrapped = _wrap(tu_raw, widths8)
-    tv_wrapped = _wrap(tv_raw, heights8)
+    # Emission always covers whole quads, so every per-access column is
+    # a per-quad value expanded four ways (plus the fixed 4-periodic
+    # slot bits for i/j).  Selecting emitted quads first keeps the
+    # gathers at quad granularity -- a quarter of the access count.
+    # ``qidx`` stays at the platform intp width: it indexes six
+    # gathers, and numpy re-casts narrower fancy indices on every one.
+    qemit = np.empty((n, 2), dtype=bool)
+    qemit[:, 0] = True
+    qemit[:, 1] = trilinear
+    qidx = np.flatnonzero(qemit.ravel())
 
+    def quad(values):
+        # Expand a per-quad column to its four accesses.
+        return np.repeat(values, 4)
+
+    # Broadcast the slot bits against per-quad (nq, 1) columns: each
+    # output is one fused pass over an (nq, 4) block whose C-order
+    # ravel is already the flat access stream (a free view), instead
+    # of separate repeat + tile + op passes over the full stream.
+    bits_i = np.array([0, 1, 0, 1], dtype=np.int32)
+    bits_j = np.array([0, 0, 1, 1], dtype=np.int32)
+    tu_raw = pairs(i0_lo, i0_hi)[qidx][:, None] + bits_i
+    tv_raw = pairs(j0_lo, j0_hi)[qidx][:, None] + bits_j
     return TexelAccesses(
-        level=level8.ravel()[flat].astype(np.int16),
-        tu=tu_wrapped.ravel()[flat].astype(np.int32),
-        tv=tv_wrapped.ravel()[flat].astype(np.int32),
-        tu_raw=tu_raw.ravel()[flat].astype(np.int32),
-        tv_raw=tv_raw.ravel()[flat].astype(np.int32),
-        kind=kind8.ravel()[flat],
-        fragment_index=fragment8.ravel()[flat].astype(np.int64),
+        level=quad(pairs(lower, upper, dtype=np.int16)[qidx]),
+        tu=(tu_raw & pairs(lo_w - 1, hi_w - 1)[qidx][:, None]).reshape(-1),
+        tv=(tv_raw & pairs(lo_h - 1, hi_h - 1)[qidx][:, None]).reshape(-1),
+        tu_raw=tu_raw.reshape(-1),
+        tv_raw=tv_raw.reshape(-1),
+        kind=quad(pairs(np.where(trilinear, KIND_LOWER, KIND_BILINEAR),
+                        KIND_UPPER, dtype=np.uint8)[qidx]),
+        fragment_index=quad(qidx >> 1),
     )
 
 
@@ -194,9 +265,37 @@ def generate_accesses_aniso(
     Derivatives are in texel units (as produced by the rasterizer).
     Returns the concatenated probe accesses in fragment order;
     ``fragment_index`` maps each access back to its source fragment.
+    Like :func:`generate_accesses`, the pyramid geometry arguments may
+    be scalars or per-fragment arrays.
     """
     u = np.asarray(u, dtype=np.float64)
     v = np.asarray(v, dtype=np.float64)
+    probes, lod, step_u, step_v = _aniso_setup(
+        dudx, dvdx, dudy, dvdy, width0, height0, max_aniso)
+
+    # One flat probe index: probe j of fragment i sits at position
+    # starts[i] + j, so the output is already in (fragment, probe)
+    # order -- no per-count loop, no stitch sort.
+    n = len(u)
+    owner = np.repeat(np.arange(n, dtype=np.int64), probes)
+    starts = np.cumsum(probes) - probes
+    j = np.arange(len(owner), dtype=np.int64) - starts[owner]
+    count = probes[owner]
+    offsets = (j + 0.5) / count - 0.5
+    accesses = generate_accesses(
+        u[owner] + offsets * step_u[owner],
+        v[owner] + offsets * step_v[owner],
+        lod[owner],
+        _per_probe(n_levels, owner),
+        _per_probe(width0, owner),
+        _per_probe(height0, owner),
+    )
+    accesses.fragment_index = owner[accesses.fragment_index]
+    return accesses
+
+
+def _aniso_setup(dudx, dvdx, dudy, dvdy, width0, height0, max_aniso):
+    """Probe count, probe lod and major-axis step per fragment."""
     rho_x = np.hypot(np.asarray(dudx, float), np.asarray(dvdx, float))
     rho_y = np.hypot(np.asarray(dudy, float), np.asarray(dvdy, float))
     rho_max = np.maximum(np.maximum(rho_x, rho_y), 1e-12)
@@ -208,6 +307,25 @@ def generate_accesses_aniso(
     x_major = rho_x >= rho_y
     step_u = np.where(x_major, np.asarray(dudx, float), np.asarray(dudy, float)) / width0
     step_v = np.where(x_major, np.asarray(dvdx, float), np.asarray(dvdy, float)) / height0
+    return probes, lod, step_u, step_v
+
+
+def _per_probe(value, owner):
+    """Broadcast a scalar through, gather an array by probe owner."""
+    array = np.asarray(value)
+    return array if array.ndim == 0 else array[owner]
+
+
+def _generate_accesses_aniso_looped(
+    u, v, dudx, dvdx, dudy, dvdy, n_levels, width0, height0, max_aniso=4
+) -> TexelAccesses:
+    """The original per-(probe count, offset) loop over masked subsets,
+    kept (scalar geometry only) as the equivalence oracle for the flat
+    probe index in :func:`generate_accesses_aniso`."""
+    u = np.asarray(u, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    probes, lod, step_u, step_v = _aniso_setup(
+        dudx, dvdx, dudy, dvdy, width0, height0, max_aniso)
 
     pieces = []
     for count in np.unique(probes):
