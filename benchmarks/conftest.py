@@ -14,4 +14,8 @@ from paperbench import SceneBank  # noqa: E402
 def bank():
     """One SceneBank per benchmark session: renders are shared across
     every table/figure harness."""
-    return SceneBank()
+    shared = SceneBank()
+    # Self-heal before a long bench session: quarantine anything a
+    # previous crashed run corrupted and purge its stale temp litter.
+    shared.engine.store.repair()
+    return shared

@@ -11,8 +11,9 @@ Commands
     Print a miss-rate curve along one axis (cache size, line size,
     associativity, or screen tile size).
 ``cache``
-    Inspect (``stats``) or empty (``clear``) the shared on-disk
-    artifact store.
+    Inspect (``stats``), integrity-scan (``verify``), self-heal
+    (``repair``) or empty (``clear``) the shared on-disk artifact
+    store.
 ``scenes``
     List the benchmark scenes and their headline characteristics.
 ``costs``
@@ -282,12 +283,46 @@ def _cache(args) -> int:
     store = ArtifactStore(args.dir) if args.dir else ArtifactStore()
     if args.action == "stats":
         report = store.stats()
-        rows = [[kind, entry["files"], f"{entry['bytes'] / 2**20:.2f} MB"]
+        rows = [[kind, entry["files"], f"{entry['bytes'] / 2**20:.2f} MB",
+                 entry["tmp"]]
                 for kind, entry in report["kinds"].items()]
         rows.append(["total", report["total_files"],
-                     f"{report['total_bytes'] / 2**20:.2f} MB"])
-        print(format_table(["artifact kind", "files", "size"], rows,
+                     f"{report['total_bytes'] / 2**20:.2f} MB",
+                     report["tmp_files"]])
+        print(format_table(["artifact kind", "files", "size", "tmp"], rows,
                            title=f"artifact store at {report['root']}"))
+        if report["tmp_files"]:
+            print(f"note: {report['tmp_files']} orphaned temp file(s) from "
+                  "interrupted writers; `repro cache repair` purges them")
+        if report["quarantined"]:
+            print(f"note: {report['quarantined']} file(s) in quarantine/ "
+                  "(see the *.reason.json records alongside them)")
+    elif args.action == "verify":
+        report = store.verify()
+        rows = [[kind, entry["ok"], len(entry["bad"]), entry["pending"],
+                 len(entry["tmp"])]
+                for kind, entry in report["kinds"].items()]
+        print(format_table(["artifact kind", "ok", "bad", "pending", "tmp"],
+                           rows,
+                           title=f"integrity scan of {report['root']}"))
+        for kind, entry in report["kinds"].items():
+            for problem in entry["bad"]:
+                print(f"  BAD {kind}/{problem['file']}: {problem['reason']}")
+        if report["tmp"]:
+            print(f"note: {report['tmp']} temp file(s); "
+                  "`repro cache repair` purges stale ones")
+        if report["bad"]:
+            print(f"{report['bad']} corrupt artifact(s); "
+                  "run `repro cache repair` to quarantine them")
+            return 1
+        print(f"store verified clean ({report['ok']} artifacts)")
+    elif args.action == "repair":
+        report = store.repair()
+        print(f"quarantined {len(report['quarantined'])} artifact(s), "
+              f"purged {len(report['purged_tmp'])} stale temp file(s) "
+              f"from {report['root']}")
+        for name in report["quarantined"]:
+            print(f"  quarantined {name}")
     else:  # clear
         report = store.clear()
         print(f"cleared {report['total_files']} artifacts "
@@ -384,9 +419,15 @@ def build_parser() -> argparse.ArgumentParser:
     hierarchy.set_defaults(func=_hierarchy)
 
     cache = subparsers.add_parser(
-        "cache", help="inspect or clear the shared artifact store")
-    cache.add_argument("action", choices=["stats", "clear"],
-                       help="stats = per-kind counts/sizes; clear = delete all")
+        "cache", help="inspect, verify, repair or clear the shared "
+                      "artifact store")
+    cache.add_argument("action",
+                       choices=["stats", "verify", "repair", "clear"],
+                       help="stats = per-kind counts/sizes; verify = "
+                            "integrity-scan every artifact's checksum "
+                            "envelope (exit 1 on corruption); repair = "
+                            "quarantine corrupt artifacts and purge stale "
+                            "temp litter; clear = delete all")
     cache.add_argument("--dir", default=None,
                        help="store directory (default: REPRO_CACHE_DIR or "
                             "benchmarks/.cache)")

@@ -25,7 +25,10 @@ Quickstart::
 
 from .artifacts import (
     ArtifactStore,
+    CorruptArtifact,
     PIPELINE_VERSION,
+    StoreError,
+    StoreUnavailable,
     addresses_payload,
     default_cache_dir,
     fingerprint,
@@ -45,6 +48,7 @@ from .runner import (
     ExperimentResult,
     ExperimentRow,
     StoredTraceStreams,
+    WarmReport,
     render_calls,
     reset_render_calls,
     run_experiment,
@@ -52,7 +56,10 @@ from .runner import (
 
 __all__ = [
     "ArtifactStore",
+    "CorruptArtifact",
     "PIPELINE_VERSION",
+    "StoreError",
+    "StoreUnavailable",
     "addresses_payload",
     "default_cache_dir",
     "fingerprint",
@@ -68,6 +75,7 @@ __all__ = [
     "ExperimentResult",
     "ExperimentRow",
     "StoredTraceStreams",
+    "WarmReport",
     "render_calls",
     "reset_render_calls",
     "run_experiment",

@@ -27,22 +27,57 @@ match and stale data self-invalidates.  Four artifact kinds exist:
     count, so warm sessions sweep whole grids without a distance pass.
 
 The root directory defaults to ``benchmarks/.cache/`` and is
-overridable with the ``REPRO_CACHE_DIR`` environment variable.  Writes
-are atomic (temp file + ``os.replace``), so concurrent processes --
-including the runner's multiprocessing workers -- can share a store.
+overridable with the ``REPRO_CACHE_DIR`` environment variable.
+
+Failure model
+-------------
+The store assumes writers can be killed at any instruction, disks can
+fill up or go read-only, and bytes can rot between a write and the
+next read.  Its defenses:
+
+* **Atomic publishes.**  Writes go to a ``*.tmp*`` sibling and are
+  moved into place with ``os.replace``; readers never observe a
+  half-written file, only litter (which :meth:`ArtifactStore.repair`
+  purges once it is stale).
+* **Integrity envelopes.**  Every payload's ``.json`` sidecar records
+  a SHA-256 content digest and byte size.  Every load re-verifies
+  them; anything torn, truncated, bit-rotted, foreign or legacy
+  (pre-envelope) is moved to ``quarantine/`` with a reason record and
+  reported as a miss, so the caller transparently recomputes.
+  Missing-counterpart states younger than :data:`TORN_GRACE_S` are
+  treated as in-flight writes (a concurrent saver between its two
+  publishes) and skipped without quarantining.
+* **Single-flight locks.**  :meth:`ArtifactStore.single_flight` takes
+  a per-fingerprint ``fcntl`` advisory lock so N racing processes
+  perform one render instead of N.  Locks die with their holder; a
+  hung holder is abandoned after a timeout (the waiter proceeds and
+  computes redundantly but correctly).
+* **Degraded mode.**  A save that fails like a broken disk (ENOSPC,
+  EROFS, EACCES, ...) demotes the store: one warning, writes become
+  no-ops, reads keep working (a warm read-only store still serves
+  artifacts) and callers fall back to their in-memory memos.
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
 import shutil
 import tempfile
+import time
+import warnings
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Optional
 
 import numpy as np
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from ..core.kernels import SetDistanceProfile
 from ..core.stackdist import DistanceProfile
@@ -57,6 +92,50 @@ PIPELINE_VERSION = 1
 
 #: Artifact kinds, also the store's subdirectory names.
 KINDS = ("traces", "addresses", "profiles", "set_profiles")
+
+#: Maintenance subdirectories (never fingerprint-addressed).
+QUARANTINE_DIR = "quarantine"
+LOCKS_DIR = "locks"
+
+#: Age below which a missing-counterpart artifact (payload without
+#: sidecar, or the reverse) and ``*.tmp*`` litter are presumed to be a
+#: concurrent writer mid-publish rather than a crash, and left alone.
+TORN_GRACE_S = 60.0
+
+#: How long :meth:`ArtifactStore.single_flight` waits for a lock before
+#: abandoning it (stale-lock takeover) and computing anyway.
+LOCK_TIMEOUT_S = 300.0
+LOCK_POLL_S = 0.05
+
+#: ``errno`` values that mean "the disk, not the data": the store
+#: demotes itself instead of failing the experiment.
+_UNAVAILABLE_ERRNOS = frozenset(
+    code for code in (
+        errno.ENOSPC, errno.EROFS, errno.EACCES, errno.EPERM,
+        getattr(errno, "EDQUOT", None),
+    ) if code is not None
+)
+
+
+class StoreError(Exception):
+    """Base class for artifact-store failures."""
+
+
+class CorruptArtifact(StoreError):
+    """An artifact failed integrity verification.
+
+    ``transient`` marks states a concurrent writer passes through
+    (payload published, sidecar not yet) which only count as damage
+    once they are older than :data:`TORN_GRACE_S`.
+    """
+
+    def __init__(self, message: str, transient: bool = False):
+        super().__init__(message)
+        self.transient = transient
+
+
+class StoreUnavailable(StoreError):
+    """The store's disk is full, read-only or permission-denied."""
 
 
 def default_cache_dir() -> Path:
@@ -99,34 +178,251 @@ def set_profile_payload(address_payload: dict, line_size: int,
             "n_sets": n_sets}
 
 
+def _replace(source: str, destination) -> None:
+    """Publish step of an atomic write.  A module-level indirection so
+    fault-injection tests can simulate a writer killed (or a disk
+    filling up) between payload write and publish."""
+    os.replace(source, destination)
+
+
+def _discard_temp(temp_name: str) -> None:
+    """Cleanup step of a failed atomic write; also an indirection so a
+    simulated kill can leave realistic ``*.tmp*`` litter behind."""
+    if os.path.exists(temp_name):
+        os.unlink(temp_name)
+
+
+def _translate_os_error(fault: OSError) -> None:
+    """Re-raise disk-shaped OS errors as :class:`StoreUnavailable`."""
+    if fault.errno in _UNAVAILABLE_ERRNOS:
+        raise StoreUnavailable(str(fault)) from fault
+    raise fault
+
+
 def _atomic_write(path: Path, write) -> None:
     """Call ``write(temp_path)`` then atomically move into place.
 
     The temporary name keeps the real extension last so numpy's savers
     (which append ``.npy``/``.npz`` to unrecognized names) write to the
-    exact path being renamed.
+    exact path being renamed.  OS errors that mean a broken disk are
+    raised as :class:`StoreUnavailable`.
     """
-    path.parent.mkdir(parents=True, exist_ok=True)
-    descriptor, temp_name = tempfile.mkstemp(dir=path.parent,
-                                             suffix=".tmp" + path.suffix)
-    os.close(descriptor)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_name = tempfile.mkstemp(dir=path.parent,
+                                                 suffix=".tmp" + path.suffix)
+        os.close(descriptor)
+    except OSError as fault:
+        _translate_os_error(fault)
     try:
         write(temp_name)
-        os.replace(temp_name, path)
-    except BaseException:
-        if os.path.exists(temp_name):
-            os.unlink(temp_name)
+        _replace(temp_name, path)
+    except BaseException as fault:
+        _discard_temp(temp_name)
+        if isinstance(fault, OSError):
+            _translate_os_error(fault)
         raise
 
 
+def _file_digest(path: Path) -> str:
+    """SHA-256 of a file's bytes (streamed)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def _is_stale(path: Path, grace_s: float = TORN_GRACE_S) -> bool:
+    """Whether ``path`` is old enough that no live writer can still be
+    mid-publish around it."""
+    try:
+        return time.time() - path.stat().st_mtime >= grace_s
+    except OSError:
+        return True  # vanished: nothing left to protect
+
+
 class ArtifactStore:
-    """Content-addressed cache of pipeline intermediates on disk."""
+    """Content-addressed cache of pipeline intermediates on disk.
+
+    Loads verify the integrity envelope and quarantine damage; saves
+    are atomic and, when the disk itself fails, demote the store to a
+    warn-once no-op (readers keep working) rather than raising
+    mid-experiment.
+    """
 
     def __init__(self, root=None):
         self.root = Path(root) if root is not None else default_cache_dir()
+        self._demoted = False
+        self._demotion_reason: Optional[str] = None
 
     def _path(self, kind: str, digest: str, suffix: str) -> Path:
         return self.root / kind / (digest + suffix)
+
+    # -- degraded mode ---------------------------------------------------
+
+    @property
+    def available(self) -> bool:
+        """False once the store has demoted itself to read-only."""
+        return not self._demoted
+
+    def _demote(self, fault: StoreUnavailable) -> None:
+        self._demoted = True
+        self._demotion_reason = str(fault)
+        warnings.warn(
+            f"artifact store at {self.root} is unavailable "
+            f"({fault}); continuing without persistence -- results are "
+            "kept in-memory only for this process",
+            RuntimeWarning, stacklevel=4)
+
+    def _guarded_write(self, publish) -> bool:
+        """Run ``publish()``; on a disk-shaped failure demote the store
+        (warn once) instead of propagating.  Returns True on success."""
+        if self._demoted:
+            return False
+        try:
+            publish()
+            return True
+        except StoreUnavailable as fault:
+            self._demote(fault)
+            return False
+
+    # -- integrity envelope ----------------------------------------------
+
+    def _write_sidecar(self, kind: str, digest: str, payload_path: Path,
+                       key_payload: dict, extra: Optional[dict] = None) -> None:
+        """Publish the ``.json`` sidecar: human-readable key, integrity
+        envelope of the just-written payload, and kind-specific meta."""
+        meta = {
+            "key": key_payload,
+            "envelope": {
+                "kind": kind,
+                "digest": _file_digest(payload_path),
+                "nbytes": payload_path.stat().st_size,
+            },
+        }
+        if extra:
+            meta.update(extra)
+        _atomic_write(self._path(kind, digest, ".json"),
+                      lambda temp: Path(temp).write_text(json.dumps(meta, indent=1)))
+
+    def _verify_envelope(self, kind: str, path: Path, sidecar: Path) -> dict:
+        """Check one artifact's envelope; returns the sidecar meta or
+        raises :class:`CorruptArtifact` describing the damage."""
+        if not path.exists():
+            raise CorruptArtifact("orphaned sidecar (payload missing)",
+                                  transient=True)
+        if not sidecar.exists():
+            raise CorruptArtifact(
+                "missing sidecar (legacy artifact or torn write)",
+                transient=True)
+        try:
+            meta = json.loads(sidecar.read_text())
+        except (OSError, ValueError) as fault:
+            raise CorruptArtifact(f"unreadable sidecar ({fault})") from fault
+        envelope = meta.get("envelope") if isinstance(meta, dict) else None
+        if not isinstance(envelope, dict):
+            raise CorruptArtifact("legacy sidecar (no integrity envelope)")
+        try:
+            nbytes = path.stat().st_size
+        except OSError:
+            raise CorruptArtifact("payload vanished during verification",
+                                  transient=True)
+        if nbytes != envelope.get("nbytes"):
+            raise CorruptArtifact(
+                f"size mismatch ({nbytes} bytes on disk, "
+                f"{envelope.get('nbytes')} recorded -- truncated or torn)")
+        if _file_digest(path) != envelope.get("digest"):
+            raise CorruptArtifact(
+                "content digest mismatch (bit rot or foreign payload)")
+        return meta
+
+    def _open_verified(self, kind: str, digest: str, suffix: str):
+        """``(path, meta)`` for a verified artifact, or ``None`` on a
+        miss.  Damage is quarantined; in-flight writes (younger than
+        the grace window) read as a plain miss."""
+        path = self._path(kind, digest, suffix)
+        sidecar = self._path(kind, digest, ".json")
+        if not path.exists() and not sidecar.exists():
+            return None
+        try:
+            meta = self._verify_envelope(kind, path, sidecar)
+        except CorruptArtifact as fault:
+            survivor = path if path.exists() else sidecar
+            if fault.transient and not _is_stale(survivor):
+                return None  # concurrent writer mid-publish
+            self.quarantine(kind, digest, str(fault))
+            return None
+        return path, meta
+
+    def quarantine(self, kind: str, digest: str, reason: str) -> None:
+        """Move an artifact's files to ``quarantine/<kind>/`` alongside
+        a ``<digest>.reason.json`` record.  Best-effort: on an
+        unwritable store the damage stays in place and keeps reading as
+        a miss."""
+        target_dir = self.root / QUARANTINE_DIR / kind
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            moved = []
+            for candidate in sorted((self.root / kind).glob(digest + ".*")):
+                if ".tmp" in candidate.name:
+                    continue
+                os.replace(candidate, target_dir / candidate.name)
+                moved.append(candidate.name)
+            record = {"kind": kind, "digest": digest, "reason": reason,
+                      "files": moved, "quarantined_at": time.time()}
+            (target_dir / (digest + ".reason.json")).write_text(
+                json.dumps(record, indent=1))
+        except OSError:
+            pass
+
+    # -- single-flight locking -------------------------------------------
+
+    @contextmanager
+    def single_flight(self, kind: str, digest: str,
+                      timeout: Optional[float] = None):
+        """Advisory per-fingerprint lock for miss-path computation.
+
+        Yields True when this process holds the lock.  Yields False --
+        and the caller simply computes redundantly, which is always
+        correct -- when locking is unavailable (no ``fcntl``, unwritable
+        store) or a hung holder did not release within ``timeout``
+        (stale-lock takeover; crashed holders release automatically).
+        Callers must re-check the store after acquisition: the previous
+        holder usually published the artifact.
+        """
+        if fcntl is None or self._demoted:
+            yield False
+            return
+        lock_path = self.root / LOCKS_DIR / f"{kind}-{digest}.lock"
+        try:
+            lock_path.parent.mkdir(parents=True, exist_ok=True)
+            handle = open(lock_path, "a+")
+        except OSError:
+            yield False
+            return
+        acquired = False
+        try:
+            deadline = time.monotonic() + \
+                (LOCK_TIMEOUT_S if timeout is None else timeout)
+            while True:
+                try:
+                    fcntl.flock(handle.fileno(),
+                                fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    acquired = True
+                    break
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        break
+                    time.sleep(LOCK_POLL_S)
+            yield acquired
+        finally:
+            if acquired:
+                try:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+                except OSError:
+                    pass
+            handle.close()
 
     # -- rendered traces -------------------------------------------------
 
@@ -138,95 +434,116 @@ class ArtifactStore:
         available from a fresh render.
         """
         digest = fingerprint(spec.payload())
-        path = self._path("traces", digest, ".npz")
-        meta_path = self._path("traces", digest, ".json")
-        if not path.exists() or not meta_path.exists():
+        checked = self._open_verified("traces", digest, ".npz")
+        if checked is None:
             return None
+        path, meta = checked
         try:
             trace = traceio.load_trace(str(path))
-            meta = json.loads(meta_path.read_text())
-        except (ValueError, OSError, json.JSONDecodeError):
-            return None  # torn or foreign file: treat as a miss
+            submitted = int(meta["n_triangles_submitted"])
+            rasterized = int(meta["n_triangles_rasterized"])
+        except (ValueError, OSError, KeyError, TypeError) as fault:
+            self.quarantine("traces", digest,
+                            f"undecodable trace artifact ({fault!r})")
+            return None
         return RenderResult(
             trace=trace,
             framebuffer=None,
             n_fragments=trace.n_fragments,
-            n_triangles_submitted=meta["n_triangles_submitted"],
-            n_triangles_rasterized=meta["n_triangles_rasterized"],
+            n_triangles_submitted=submitted,
+            n_triangles_rasterized=rasterized,
         )
 
     def save_render(self, spec: TraceSpec, result: RenderResult) -> Path:
         digest = fingerprint(spec.payload())
         path = self._path("traces", digest, ".npz")
-        _atomic_write(path, lambda temp: traceio.save_trace(temp, result.trace))
-        meta = {
-            "key": spec.payload(),
-            "n_triangles_submitted": int(result.n_triangles_submitted),
-            "n_triangles_rasterized": int(result.n_triangles_rasterized),
-        }
-        _atomic_write(self._path("traces", digest, ".json"),
-                      lambda temp: Path(temp).write_text(json.dumps(meta, indent=1)))
+
+        def publish():
+            _atomic_write(path,
+                          lambda temp: traceio.save_trace(temp, result.trace))
+            self._write_sidecar("traces", digest, path, spec.payload(), {
+                "n_triangles_submitted": int(result.n_triangles_submitted),
+                "n_triangles_rasterized": int(result.n_triangles_rasterized),
+            })
+        self._guarded_write(publish)
         return path
 
     # -- byte-address streams --------------------------------------------
 
     def load_addresses(self, payload: dict) -> Optional[np.ndarray]:
-        path = self._path("addresses", fingerprint(payload), ".npy")
-        if not path.exists():
+        digest = fingerprint(payload)
+        checked = self._open_verified("addresses", digest, ".npy")
+        if checked is None:
             return None
+        path, _ = checked
         try:
             return np.load(path)
-        except (ValueError, OSError):
+        except (ValueError, OSError) as fault:
+            self.quarantine("addresses", digest,
+                            f"undecodable address stream ({fault!r})")
             return None
 
     def save_addresses(self, payload: dict, addresses: np.ndarray) -> Path:
         digest = fingerprint(payload)
         path = self._path("addresses", digest, ".npy")
-        _atomic_write(path, lambda temp: np.save(temp, addresses))
 
-        def write_key(temp):
-            Path(temp).write_text(json.dumps({"key": payload}, indent=1))
-        _atomic_write(self._path("addresses", digest, ".json"), write_key)
+        def publish():
+            _atomic_write(path, lambda temp: np.save(temp, addresses))
+            self._write_sidecar("addresses", digest, path, payload)
+        self._guarded_write(publish)
         return path
 
     # -- stack-distance profiles -----------------------------------------
 
     def load_profile(self, payload: dict) -> Optional[DistanceProfile]:
-        path = self._path("profiles", fingerprint(payload), ".npz")
-        if not path.exists():
+        digest = fingerprint(payload)
+        checked = self._open_verified("profiles", digest, ".npz")
+        if checked is None:
             return None
+        path, _ = checked
         try:
             with np.load(path) as archive:
                 counts = archive["counts"]
                 cold, duplicate_hits = archive["meta"].tolist()
-        except (ValueError, OSError, KeyError):
+        except (ValueError, OSError, KeyError) as fault:
+            self.quarantine("profiles", digest,
+                            f"undecodable profile ({fault!r})")
             return None
         return DistanceProfile(counts=counts, cold=int(cold),
                                duplicate_hits=int(duplicate_hits))
 
     def save_profile(self, payload: dict, profile: DistanceProfile) -> Path:
-        path = self._path("profiles", fingerprint(payload), ".npz")
+        digest = fingerprint(payload)
+        path = self._path("profiles", digest, ".npz")
 
         def write(temp):
             np.savez_compressed(
                 temp, counts=profile.counts,
                 meta=np.array([profile.cold, profile.duplicate_hits],
                               dtype=np.int64))
-        _atomic_write(path, write)
+
+        def publish():
+            _atomic_write(path, write)
+            self._write_sidecar("profiles", digest, path, payload)
+        self._guarded_write(publish)
         return path
 
     # -- per-set stack-distance profiles ---------------------------------
 
     def load_set_profile(self, payload: dict) -> Optional[SetDistanceProfile]:
-        path = self._path("set_profiles", fingerprint(payload), ".npz")
-        if not path.exists():
+        digest = fingerprint(payload)
+        checked = self._open_verified("set_profiles", digest, ".npz")
+        if checked is None:
             return None
+        path, _ = checked
         try:
             with np.load(path) as archive:
                 counts = archive["counts"]
                 line_size, n_sets, cold, duplicate_hits = \
                     archive["meta"].tolist()
-        except (ValueError, OSError, KeyError):
+        except (ValueError, OSError, KeyError) as fault:
+            self.quarantine("set_profiles", digest,
+                            f"undecodable per-set profile ({fault!r})")
             return None
         return SetDistanceProfile(
             line_size=int(line_size), n_sets=int(n_sets), counts=counts,
@@ -234,7 +551,8 @@ class ArtifactStore:
 
     def save_set_profile(self, payload: dict,
                          profile: SetDistanceProfile) -> Path:
-        path = self._path("set_profiles", fingerprint(payload), ".npz")
+        digest = fingerprint(payload)
+        path = self._path("set_profiles", digest, ".npz")
 
         def write(temp):
             np.savez_compressed(
@@ -242,28 +560,146 @@ class ArtifactStore:
                 meta=np.array([profile.line_size, profile.n_sets,
                                profile.cold, profile.duplicate_hits],
                               dtype=np.int64))
-        _atomic_write(path, write)
+
+        def publish():
+            _atomic_write(path, write)
+            self._write_sidecar("set_profiles", digest, path, payload)
+        self._guarded_write(publish)
         return path
 
     # -- maintenance -----------------------------------------------------
 
+    def _scan_kind(self, kind: str):
+        """``(payloads, sidecar_stems, tmp_names)`` for one kind,
+        tolerant of files vanishing mid-scan (concurrent ``clear()``)."""
+        payloads, sidecars, tmp = {}, set(), []
+        directory = self.root / kind
+        if not directory.is_dir():
+            return payloads, sidecars, tmp
+        for entry in sorted(directory.glob("*")):
+            try:
+                if not entry.is_file():
+                    continue
+                entry.stat()
+            except OSError:
+                continue  # deleted between glob and stat: skip
+            if ".tmp" in entry.name:
+                tmp.append(entry.name)
+            elif entry.suffix == ".json":
+                sidecars.add(entry.stem)
+            else:
+                payloads[entry.stem] = entry
+        return payloads, sidecars, tmp
+
     def stats(self) -> dict:
-        """Per-kind artifact counts and byte totals."""
+        """Per-kind artifact counts and byte totals, plus orphaned
+        ``*.tmp*`` litter and quarantined-file counts."""
         report = {"root": str(self.root), "kinds": {}, "total_bytes": 0,
-                  "total_files": 0}
+                  "total_files": 0, "tmp_files": 0,
+                  "quarantined": self._count_quarantined()}
         for kind in KINDS:
+            files = nbytes = tmp = 0
             directory = self.root / kind
-            files = [f for f in directory.glob("*") if f.is_file()] \
-                if directory.is_dir() else []
-            nbytes = sum(f.stat().st_size for f in files)
-            report["kinds"][kind] = {"files": len(files), "bytes": nbytes}
-            report["total_files"] += len(files)
+            if directory.is_dir():
+                for entry in directory.glob("*"):
+                    try:
+                        if not entry.is_file():
+                            continue
+                        size = entry.stat().st_size
+                    except OSError:
+                        continue  # vanished between glob and stat
+                    if ".tmp" in entry.name:
+                        tmp += 1
+                        continue
+                    files += 1
+                    nbytes += size
+            report["kinds"][kind] = {"files": files, "bytes": nbytes,
+                                     "tmp": tmp}
+            report["total_files"] += files
             report["total_bytes"] += nbytes
+            report["tmp_files"] += tmp
         return report
 
-    def clear(self) -> dict:
-        """Delete every artifact; returns the pre-clear :meth:`stats`."""
-        report = self.stats()
+    def _count_quarantined(self) -> int:
+        quarantine_root = self.root / QUARANTINE_DIR
+        if not quarantine_root.is_dir():
+            return 0
+        count = 0
+        for entry in quarantine_root.glob("*/*"):
+            try:
+                if entry.is_file() and not entry.name.endswith(".reason.json"):
+                    count += 1
+            except OSError:
+                continue
+        return count
+
+    def verify(self) -> dict:
+        """Scan every artifact's integrity envelope without modifying
+        anything.  ``bad`` lists verifiable damage; ``pending`` counts
+        in-flight (younger than the grace window) torn states; ``tmp``
+        lists temp-file litter."""
+        report = {"root": str(self.root), "kinds": {},
+                  "ok": 0, "bad": 0, "pending": 0, "tmp": 0}
         for kind in KINDS:
+            entry = {"ok": 0, "bad": [], "pending": 0, "tmp": []}
+            payloads, sidecars, entry["tmp"] = self._scan_kind(kind)
+            for stem, path in payloads.items():
+                sidecar = self._path(kind, stem, ".json")
+                try:
+                    self._verify_envelope(kind, path, sidecar)
+                except CorruptArtifact as fault:
+                    if fault.transient and not _is_stale(path):
+                        entry["pending"] += 1
+                    else:
+                        entry["bad"].append({"file": path.name,
+                                             "reason": str(fault)})
+                else:
+                    entry["ok"] += 1
+                sidecars.discard(stem)
+            for stem in sorted(sidecars):
+                sidecar = self._path(kind, stem, ".json")
+                if not _is_stale(sidecar):
+                    entry["pending"] += 1
+                else:
+                    entry["bad"].append({
+                        "file": sidecar.name,
+                        "reason": "orphaned sidecar (payload missing)"})
+            report["kinds"][kind] = entry
+            report["ok"] += entry["ok"]
+            report["bad"] += len(entry["bad"])
+            report["pending"] += entry["pending"]
+            report["tmp"] += len(entry["tmp"])
+        report["clean"] = report["bad"] == 0
+        return report
+
+    def repair(self) -> dict:
+        """Self-heal the store: quarantine every artifact that fails
+        verification and purge stale ``*.tmp*`` litter left by killed
+        writers.  In-flight writes (within the grace window) are left
+        alone."""
+        scan = self.verify()
+        quarantined, purged = [], []
+        for kind, entry in scan["kinds"].items():
+            for problem in entry["bad"]:
+                digest = problem["file"].split(".", 1)[0]
+                self.quarantine(kind, digest, problem["reason"])
+                quarantined.append(f"{kind}/{problem['file']}")
+            for name in entry["tmp"]:
+                litter = self.root / kind / name
+                if not _is_stale(litter):
+                    continue  # a live writer may still publish it
+                try:
+                    litter.unlink()
+                except OSError:
+                    continue
+                purged.append(f"{kind}/{name}")
+        return {"root": str(self.root), "quarantined": quarantined,
+                "purged_tmp": purged}
+
+    def clear(self) -> dict:
+        """Delete every artifact (including quarantine, locks and temp
+        litter); returns the pre-clear :meth:`stats`."""
+        report = self.stats()
+        for kind in KINDS + (QUARANTINE_DIR, LOCKS_DIR):
             shutil.rmtree(self.root / kind, ignore_errors=True)
         return report

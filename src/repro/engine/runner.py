@@ -12,11 +12,26 @@ so warm processes perform zero renders.
 :class:`~repro.engine.spec.ExperimentSpec` grid through one engine,
 optionally fanning the expensive render/trace stage out across
 ``multiprocessing`` workers that warm the shared store in parallel.
+
+Fault tolerance
+---------------
+Store misses compute under the store's per-fingerprint single-flight
+lock, so N racing processes produce one render per fingerprint.  The
+parallel warm-up submits tasks individually, captures worker
+exceptions, retries each failed task with exponential backoff and
+jitter, and finally falls back to in-process execution; the outcome is
+summarized in a :class:`WarmReport` on the :class:`ExperimentResult`
+instead of a first worker crash killing the whole run.  An unwritable
+store demotes itself (see :mod:`repro.engine.artifacts`) and the
+engine transparently continues on its in-memory memos.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+import random
+import time
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
@@ -31,6 +46,7 @@ from ..texture.memory import place_textures
 from .artifacts import (
     ArtifactStore,
     addresses_payload,
+    fingerprint,
     profile_payload,
     set_profile_payload,
 )
@@ -39,6 +55,14 @@ from .spec import ExperimentSpec, TraceSpec, layout_from_spec, order_from_spec
 #: Number of actual scene renders performed by this process (cache
 #: misses only).  Tests assert warm runs leave this untouched.
 RENDER_CALLS = 0
+
+#: Warm-pool fault policy: how many retry rounds a failed task gets in
+#: pool workers before falling back to in-process execution, the base
+#: backoff between rounds (doubled each round, with jitter), and how
+#: long one task may run before it is presumed hung and retried.
+WARM_RETRIES = 2
+WARM_BACKOFF_S = 0.25
+WARM_TIMEOUT_S = 600.0
 
 
 def render_calls() -> int:
@@ -66,33 +90,65 @@ class StoredTraceStreams(TraceStreams):
     def _backed(self) -> bool:
         return self._store is not None and self._key_payload is not None
 
+    def _through_store(self, kind: str, payload: dict, load, save, compute):
+        """Load-or-compute one artifact with single-flight: re-check
+        the store under the lock so racing processes compute once."""
+        cached = load(payload)
+        if cached is not None:
+            return cached
+        with self._store.single_flight(kind, fingerprint(payload)):
+            cached = load(payload)
+            if cached is None:
+                cached = compute()
+                save(payload, cached)
+        return cached
+
     def profile(self, line_size: int) -> DistanceProfile:
         if line_size not in self._profiles:
-            cached = None
-            if self._backed():
-                payload = profile_payload(self._key_payload, line_size)
-                cached = self._store.load_profile(payload)
-            if cached is None:
-                cached = super().profile(line_size)
-                if self._backed():
-                    self._store.save_profile(payload, cached)
-            self._profiles[line_size] = cached
+            if not self._backed():
+                return super().profile(line_size)
+            compute = super().profile
+            self._profiles[line_size] = self._through_store(
+                "profiles", profile_payload(self._key_payload, line_size),
+                self._store.load_profile, self._store.save_profile,
+                lambda: compute(line_size))
         return self._profiles[line_size]
 
     def set_profile(self, line_size: int, n_sets: int) -> SetDistanceProfile:
         key = (line_size, n_sets)
         if key not in self._set_profiles:
-            cached = None
-            if self._backed():
-                payload = set_profile_payload(self._key_payload, line_size,
-                                              n_sets)
-                cached = self._store.load_set_profile(payload)
-            if cached is None:
-                cached = super().set_profile(line_size, n_sets)
-                if self._backed():
-                    self._store.save_set_profile(payload, cached)
-            self._set_profiles[key] = cached
+            if not self._backed():
+                return super().set_profile(line_size, n_sets)
+            compute = super().set_profile
+            self._set_profiles[key] = self._through_store(
+                "set_profiles",
+                set_profile_payload(self._key_payload, line_size, n_sets),
+                self._store.load_set_profile, self._store.save_set_profile,
+                lambda: compute(line_size, n_sets))
         return self._set_profiles[key]
+
+
+@dataclass
+class WarmReport:
+    """Outcome of one parallel store-warming phase.
+
+    ``attempts`` counts every task submission to the worker pool,
+    ``retries`` the resubmissions after a failure, ``fallbacks`` the
+    tasks that only succeeded in-process after exhausting pool retries,
+    and ``errors`` the (task label, error) pairs that failed everywhere
+    -- those cells will recompute (and surface any real error) during
+    in-process assembly.
+    """
+
+    tasks: int = 0
+    attempts: int = 0
+    retries: int = 0
+    fallbacks: int = 0
+    errors: tuple = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
 
 
 class Engine:
@@ -100,6 +156,7 @@ class Engine:
 
     def __init__(self, store: Optional[ArtifactStore] = None):
         self.store = store if store is not None else ArtifactStore()
+        self.last_warm_report: Optional[WarmReport] = None
         self._scenes = {}
         self._renders = {}
         self._placements = {}
@@ -122,7 +179,11 @@ class Engine:
         fresh.  ``produce_image=True`` always renders (framebuffers are
         not cached) but still persists the trace for later warm runs;
         ``fresh=True`` also skips the memo and store so the result
-        carries real ``phase_ms`` timings (``render --profile``)."""
+        carries real ``phase_ms`` timings (``render --profile``).
+
+        Store misses render under the per-fingerprint single-flight
+        lock: of N racing processes one renders, the rest load its
+        published artifact."""
         if produce_image or fresh:
             result = self._render_fresh(spec, produce_image=produce_image)
             self.store.save_render(spec, result)
@@ -130,8 +191,12 @@ class Engine:
         if spec not in self._renders:
             result = self.store.load_render(spec)
             if result is None:
-                result = self._render_fresh(spec, produce_image=False)
-                self.store.save_render(spec, result)
+                digest = fingerprint(spec.payload())
+                with self.store.single_flight("traces", digest):
+                    result = self.store.load_render(spec)
+                    if result is None:
+                        result = self._render_fresh(spec, produce_image=False)
+                        self.store.save_render(spec, result)
             self._renders[spec] = result
         return self._renders[spec]
 
@@ -177,10 +242,14 @@ class Engine:
             payload = addresses_payload(trace_spec, layout_spec)
             addresses = self.store.load_addresses(payload)
             if addresses is None:
-                addresses = self.trace(trace_spec).byte_addresses(
-                    self.placements(trace_spec.scene, trace_spec.scale,
-                                    layout_spec, trace_spec.time))
-                self.store.save_addresses(payload, addresses)
+                with self.store.single_flight("addresses",
+                                              fingerprint(payload)):
+                    addresses = self.store.load_addresses(payload)
+                    if addresses is None:
+                        addresses = self.trace(trace_spec).byte_addresses(
+                            self.placements(trace_spec.scene, trace_spec.scale,
+                                            layout_spec, trace_spec.time))
+                        self.store.save_addresses(payload, addresses)
             self._streams[key] = StoredTraceStreams(
                 addresses, store=self.store, key_payload=payload)
         return self._streams[key]
@@ -194,14 +263,18 @@ class Engine:
         ``workers > 1`` warms the store's render/address/profile
         artifacts with a multiprocessing pool first (one task per
         scene/order/layout), then assembles results from the warm
-        store in this process.  ``kernel`` selects the LRU simulation
-        path: the default reads every finite associativity off a
-        store-backed per-set distance profile; ``"reference"`` runs
-        the sequential :class:`~repro.core.cache.LRUCache` simulator.
+        store in this process; worker failures are retried and fall
+        back in-process (see :class:`WarmReport`) rather than aborting
+        the run.  ``kernel`` selects the LRU simulation path: the
+        default reads every finite associativity off a store-backed
+        per-set distance profile; ``"reference"`` runs the sequential
+        :class:`~repro.core.cache.LRUCache` simulator.
         """
         check_kernel(kernel)
+        warm_report = None
         if workers and workers > 1:
-            self._warm_parallel(experiment, workers)
+            warm_report = self._warm_parallel(experiment, workers)
+            self.last_warm_report = warm_report
         rows = []
         for trace_spec in experiment.trace_specs():
             for layout_spec in experiment.layouts:
@@ -211,7 +284,8 @@ class Engine:
                         rows.extend(self._sweep_sizes(
                             trace_spec, layout_spec, streams, line_size,
                             assoc, experiment.cache_sizes, kernel))
-        return ExperimentResult(spec=experiment, rows=rows)
+        return ExperimentResult(spec=experiment, rows=rows,
+                                warm_report=warm_report)
 
     def _sweep_sizes(self, trace_spec, layout_spec, streams, line_size,
                      assoc, cache_sizes, kernel: str = "vectorized") -> list:
@@ -236,18 +310,93 @@ class Engine:
                     layout=tuple(layout_spec), stats=stats))
         return rows
 
-    def _warm_parallel(self, experiment: ExperimentSpec, workers: int) -> None:
+    def _warm_parallel(self, experiment: ExperimentSpec,
+                       workers: int) -> WarmReport:
+        """Warm the store in pool workers, absorbing worker failures.
+
+        Each task is submitted individually; failures are retried for
+        :data:`WARM_RETRIES` rounds with exponential backoff + jitter
+        (a fresh pool per round, so even a wedged pool cannot take the
+        run down), then fall back to in-process execution.  Tasks that
+        fail everywhere are recorded in the report and recomputed --
+        surfacing their real error -- during assembly.
+        """
         import multiprocessing
 
         tasks = [(str(self.store.root), trace_spec, tuple(layout_spec),
                   tuple(experiment.line_sizes))
                  for trace_spec, layout_spec in experiment.stream_specs()]
-        with multiprocessing.Pool(processes=min(workers, len(tasks))) as pool:
-            pool.map(_warm_task, tasks)
+        report = WarmReport(tasks=len(tasks))
+        pending = tasks
+        failures = []
+        for round_index in range(WARM_RETRIES + 1):
+            if not pending:
+                break
+            if round_index:
+                report.retries += len(pending)
+                delay = WARM_BACKOFF_S * (2 ** (round_index - 1))
+                time.sleep(delay * (0.5 + random.random()))
+            failures = []
+            with multiprocessing.Pool(
+                    processes=min(workers, len(pending))) as pool:
+                handles = [(task, pool.apply_async(_warm_task, (task,)))
+                           for task in pending]
+                for task, handle in handles:
+                    report.attempts += 1
+                    try:
+                        handle.get(timeout=WARM_TIMEOUT_S)
+                    except Exception as fault:
+                        failures.append(
+                            (task, f"{type(fault).__name__}: {fault}"))
+            pending = [task for task, _ in failures]
+        errors = []
+        for task, pool_error in failures:
+            try:
+                _warm_task(task)
+            except Exception as fault:
+                errors.append((_task_label(task),
+                               f"{type(fault).__name__}: {fault} "
+                               f"(pool: {pool_error})"))
+            else:
+                report.fallbacks += 1
+        report.errors = tuple(errors)
+        return report
+
+
+def _task_label(task) -> str:
+    _, trace_spec, layout_spec, _ = task
+    return f"{trace_spec.scene}/{'-'.join(map(str, trace_spec.order))}" \
+           f"/{'-'.join(map(str, layout_spec))}"
+
+
+def _maybe_inject_warm_fault() -> None:
+    """Fault-injection hook for the warm pool (used by tests/CI only).
+
+    ``REPRO_FAULT_WARM=once:<path>`` makes exactly one task raise (the
+    first to atomically create ``<path>``), exercising the retry path;
+    ``REPRO_FAULT_WARM=workers`` makes every task raise inside pool
+    workers while in-process fallback execution succeeds.
+    """
+    spec = os.environ.get("REPRO_FAULT_WARM")
+    if not spec:
+        return
+    if spec == "workers":
+        import multiprocessing
+        if multiprocessing.current_process().name != "MainProcess":
+            raise RuntimeError("injected warm-pool worker fault")
+        return
+    if spec.startswith("once:"):
+        try:
+            os.close(os.open(spec[len("once:"):],
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+        except FileExistsError:
+            return
+        raise RuntimeError("injected one-shot warm-pool fault")
 
 
 def _warm_task(task) -> None:
     """Worker: populate the shared store for one (trace, layout) pair."""
+    _maybe_inject_warm_fault()
     root, trace_spec, layout_spec, line_sizes = task
     engine = Engine(store=ArtifactStore(root))
     streams = engine.streams(trace_spec, layout_spec)
@@ -275,6 +424,7 @@ class ExperimentResult:
 
     spec: ExperimentSpec
     rows: list
+    warm_report: Optional[WarmReport] = field(default=None)
 
     def select(self, **criteria) -> list:
         """Rows matching the given field/config values, e.g.

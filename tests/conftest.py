@@ -16,6 +16,11 @@ import pytest
 
 @pytest.fixture(scope="session", autouse=True)
 def _isolated_cache_dir(tmp_path_factory):
+    if os.environ.get("REPRO_TEST_KEEP_CACHE_DIR"):
+        # CI's degraded-mode job points REPRO_CACHE_DIR at a read-only
+        # directory on purpose; honour it instead of isolating.
+        yield
+        return
     previous = os.environ.get("REPRO_CACHE_DIR")
     os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
     yield

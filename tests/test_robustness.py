@@ -1,9 +1,13 @@
 """Robustness and edge-case tests across the pipeline."""
 
+import json
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.core.cache import CacheConfig, simulate, simulate_sequence
+from repro.engine import ArtifactStore, Engine, TraceSpec, addresses_payload
 from repro.geometry.mesh import Mesh, make_quad
 from repro.geometry.transform import look_at, perspective
 from repro.pipeline.renderer import Renderer, render_trace
@@ -13,6 +17,8 @@ from repro.texture.layout import BlockedLayout, NonblockedLayout
 from repro.texture.memory import place_textures
 from repro.texture.mipmap import MipMap
 from repro.texture.procedural import checkerboard
+
+from tests import fault_injection as faults
 
 
 def scene_with(mesh, width=32, height=32, eye=(0, 0, 3)):
@@ -142,3 +148,64 @@ class TestSimulatorEdgeCases:
         placements = place_textures(mipmaps, BlockedLayout(4))
         addresses = result.trace.byte_addresses(placements)
         assert addresses.max() < placements[0].base + placements[0].total_nbytes
+
+
+class TestStoreEdgeCases:
+    SPEC = TraceSpec(scene="goblet", scale=0.1, order=("horizontal",))
+    LAYOUT = ("blocked", 4)
+
+    def _warm(self, root):
+        store = ArtifactStore(root)
+        Engine(store=store).addresses(self.SPEC, self.LAYOUT)
+        return store
+
+    def test_garbage_sidecar_quarantined(self, tmp_path):
+        store = self._warm(tmp_path)
+        [payload] = faults.payload_files(store, "addresses")
+        payload.with_suffix(".json").write_text("{not json at all")
+
+        key = addresses_payload(self.SPEC, self.LAYOUT)
+        assert ArtifactStore(tmp_path).load_addresses(key) is None
+        assert not payload.exists()  # quarantined alongside its sidecar
+        quarantined = Path(tmp_path) / "quarantine" / "addresses"
+        assert any(quarantined.glob("*.npy"))
+
+    def test_foreign_payload_with_valid_envelope(self, tmp_path):
+        # A digest-consistent sidecar over a payload numpy cannot
+        # parse: the decode layer must quarantine, not crash.
+        store = self._warm(tmp_path)
+        [payload] = faults.payload_files(store, "addresses")
+        payload.write_bytes(b"this is not an npy file")
+        faults.restamp(store, "addresses",
+                       payload.name.split(".")[0], ".npy")
+
+        key = addresses_payload(self.SPEC, self.LAYOUT)
+        assert ArtifactStore(tmp_path).load_addresses(key) is None
+        reasons = Path(tmp_path) / "quarantine" / "addresses"
+        assert any("undecodable" in f.read_text()
+                   for f in reasons.glob("*.reason.json"))
+
+    def test_quarantine_reason_record_fields(self, tmp_path):
+        store = self._warm(tmp_path)
+        [payload] = faults.payload_files(store, "addresses")
+        faults.flip_bit(payload)
+        key = addresses_payload(self.SPEC, self.LAYOUT)
+        assert ArtifactStore(tmp_path).load_addresses(key) is None
+
+        reason_dir = Path(tmp_path) / "quarantine" / "addresses"
+        [record] = [json.loads(f.read_text())
+                    for f in reason_dir.glob("*.reason.json")]
+        assert record["kind"] == "addresses"
+        assert record["digest"] == payload.name.split(".")[0]
+        assert "digest mismatch" in record["reason"]
+        assert record["files"]  # names of the files moved aside
+        assert record["quarantined_at"]
+
+    def test_maintenance_on_missing_root(self, tmp_path):
+        store = ArtifactStore(tmp_path / "absent")
+        assert store.stats()["total_files"] == 0
+        assert store.verify()["clean"]
+        assert store.repair() == {"root": str(store.root),
+                                  "quarantined": [], "purged_tmp": []}
+        cleared = store.clear()
+        assert cleared["total_files"] == 0
