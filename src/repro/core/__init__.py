@@ -13,7 +13,14 @@ from .cache import (
     simulate_sequence,
     to_lines,
 )
-from .kernels import KERNELS, SetDistanceProfile, check_kernel
+from .kernels import (
+    KERNELS,
+    SetDistanceProfile,
+    check_kernel,
+    line_miss_mask,
+    miss_mask,
+    miss_stream,
+)
 from .stackdist import (
     COLD,
     DistanceProfile,
@@ -54,7 +61,13 @@ from .parallel import (
     simulate_parallel,
     split_trace,
 )
-from .dram import DramModel, PAPER_DRAM, line_fill_cycles, uncached_stream_cycles
+from .dram import (
+    DramModel,
+    DramTiming,
+    PAPER_DRAM,
+    line_fill_cycles,
+    uncached_stream_cycles,
+)
 from .hierarchy import HierarchyStats, hierarchy_bandwidths, simulate_hierarchy
 from .victim import VictimStats, simulate_victim
 from .sweep import (
@@ -80,6 +93,9 @@ __all__ = [
     "KERNELS",
     "SetDistanceProfile",
     "check_kernel",
+    "line_miss_mask",
+    "miss_mask",
+    "miss_stream",
     "COLD",
     "DistanceProfile",
     "MissRateCurve",
@@ -121,6 +137,7 @@ __all__ = [
     "VictimStats",
     "simulate_victim",
     "DramModel",
+    "DramTiming",
     "PAPER_DRAM",
     "line_fill_cycles",
     "uncached_stream_cycles",

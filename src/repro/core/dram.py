@@ -22,6 +22,39 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..texture.image import is_power_of_two, log2_int
+from .kernels import _argsort_bounded, check_kernel
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Timing outcome of one access stream through a :class:`DramModel`.
+
+    Computed once by :meth:`DramModel.timing`; bandwidth and
+    utilization derive from the same ``cycles`` figure, so consumers
+    needing several metrics for one stream pay for the cycle walk once.
+    """
+
+    n_accesses: int
+    burst_nbytes: int
+    cycles: float
+    peak_bytes_per_cycle: float
+
+    @property
+    def total_bytes(self) -> int:
+        return self.n_accesses * self.burst_nbytes
+
+    def effective_bandwidth(self, clock_hz: float = 100e6) -> float:
+        """Bytes/second actually delivered for the access stream."""
+        if self.n_accesses == 0:
+            return 0.0
+        return self.total_bytes / self.cycles * clock_hz
+
+    @property
+    def bus_utilization(self) -> float:
+        """Delivered bytes over the zero-overhead bus capacity."""
+        if self.n_accesses == 0:
+            return 1.0
+        return (self.total_bytes / self.peak_bytes_per_cycle) / self.cycles
 
 
 @dataclass(frozen=True)
@@ -58,17 +91,40 @@ class DramModel:
         row = global_row >> log2_int(self.n_banks)
         return bank, row
 
-    def access_cycles(self, addresses: np.ndarray, burst_nbytes: int) -> float:
+    def access_cycles(self, addresses: np.ndarray, burst_nbytes: int,
+                      kernel: str = "vectorized") -> float:
         """Cycles to serve bursts of ``burst_nbytes`` at ``addresses``.
 
         Open-row tracking per bank; beats within a burst always hit the
         open row (bursts never straddle rows for power-of-two line
         sizes within a row).
+
+        Banks are independent row buffers, so total cycles decompose as
+        ``n * beats * col_cycles`` plus ``row_cycles`` per row *switch*,
+        and a switch happens exactly where an access's row differs from
+        the previous access *of the same bank* (or is the bank's
+        first).  The default ``"vectorized"`` kernel counts switches
+        with one stable argsort by bank and a diff over the grouped
+        rows; ``"reference"`` keeps the sequential open-row walk.
         """
         if burst_nbytes < 1:
             raise ValueError("burst must transfer at least one byte")
+        check_kernel(kernel)
         beats = max(-(-burst_nbytes // self.beat_nbytes), 1)
         bank, row = self.bank_and_row(addresses)
+        if kernel == "vectorized":
+            n = len(bank)
+            if n == 0:
+                return 0.0
+            order = _argsort_bounded(bank, self.n_banks)
+            grouped_bank = bank[order]
+            grouped_row = row[order]
+            switch = np.empty(n, dtype=bool)
+            switch[0] = True
+            np.not_equal(grouped_row[1:], grouped_row[:-1], out=switch[1:])
+            switch[1:] |= grouped_bank[1:] != grouped_bank[:-1]
+            return float(n * beats * self.col_cycles
+                         + int(np.count_nonzero(switch)) * self.row_cycles)
         open_rows = np.full(self.n_banks, -1, dtype=np.int64)
         cycles = 0
         for b, r in zip(bank.tolist(), row.tolist()):
@@ -78,22 +134,30 @@ class DramModel:
             cycles += beats * self.col_cycles
         return float(cycles)
 
+    def timing(self, addresses: np.ndarray, burst_nbytes: int,
+               kernel: str = "vectorized") -> DramTiming:
+        """One cycle walk, every derived metric: the returned
+        :class:`DramTiming` answers cycles, effective bandwidth and bus
+        utilization without re-walking the stream."""
+        return DramTiming(
+            n_accesses=len(addresses),
+            burst_nbytes=burst_nbytes,
+            cycles=self.access_cycles(addresses, burst_nbytes, kernel=kernel),
+            peak_bytes_per_cycle=self.peak_bytes_per_cycle,
+        )
+
     def effective_bandwidth(self, addresses: np.ndarray, burst_nbytes: int,
                             clock_hz: float = 100e6) -> float:
-        """Bytes/second actually delivered for the access stream."""
-        if len(addresses) == 0:
-            return 0.0
-        cycles = self.access_cycles(addresses, burst_nbytes)
-        total_bytes = len(addresses) * burst_nbytes
-        return total_bytes / cycles * clock_hz
+        """Bytes/second actually delivered for the access stream.
+        (Convenience; prefer :meth:`timing` when several metrics of one
+        stream are needed.)"""
+        return self.timing(addresses, burst_nbytes).effective_bandwidth(clock_hz)
 
     def bus_utilization(self, addresses: np.ndarray, burst_nbytes: int) -> float:
-        """Delivered bytes over the zero-overhead bus capacity."""
-        if len(addresses) == 0:
-            return 1.0
-        cycles = self.access_cycles(addresses, burst_nbytes)
-        ideal = len(addresses) * burst_nbytes / self.peak_bytes_per_cycle
-        return ideal / cycles
+        """Delivered bytes over the zero-overhead bus capacity.
+        (Convenience; prefer :meth:`timing` when several metrics of one
+        stream are needed.)"""
+        return self.timing(addresses, burst_nbytes).bus_utilization
 
 
 #: A reference part for the Section 3.2 comparison.

@@ -8,6 +8,13 @@ tightly coupled to the filter plus a larger L2 in front of the DRAM
 pool.  :func:`simulate_hierarchy` measures it: each level's miss
 stream, in order, becomes the next level's access stream (exact, since
 the simulation is sequential per access).
+
+The default ``kernel="vectorized"`` path derives each level's
+per-access verdicts from the per-set stack-distance kernels
+(:func:`repro.core.kernels.run_outcomes`) and propagates the boolean
+miss mask to carve out the next level's stream -- no per-access
+Python; the original sequential loop stays selectable as the
+``"reference"`` oracle and both produce identical per-level counts.
 """
 
 from __future__ import annotations
@@ -16,7 +23,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .cache import LRUCache, to_lines
+from . import kernels
+from .cache import CacheStats, LRUCache, collapse_consecutive, to_lines
 
 
 @dataclass
@@ -45,15 +53,7 @@ class HierarchyStats:
         return self.levels[level].miss_rate
 
 
-def simulate_hierarchy(addresses: np.ndarray, configs) -> HierarchyStats:
-    """Simulate an inclusive-traffic cache hierarchy.
-
-    ``configs`` lists :class:`CacheConfig` from L1 outward; each
-    level's line size must not shrink at outer levels (an L2 line holds
-    whole L1 lines).  L2 sees exactly the L1 miss sequence, so
-    collapsing cannot be applied between levels -- each level is
-    simulated per access on its (already much thinner) input stream.
-    """
+def _check_configs(configs) -> list:
     configs = list(configs)
     if not configs:
         raise ValueError("need at least one cache level")
@@ -62,26 +62,57 @@ def simulate_hierarchy(addresses: np.ndarray, configs) -> HierarchyStats:
             raise ValueError(
                 "outer levels need line sizes >= inner levels "
                 f"({outer.line_size} < {inner.line_size})")
+    return configs
 
+
+def simulate_hierarchy(addresses: np.ndarray, configs,
+                       kernel: str = "vectorized") -> HierarchyStats:
+    """Simulate an inclusive-traffic cache hierarchy.
+
+    ``configs`` lists :class:`CacheConfig` from L1 outward; each
+    level's line size must not shrink at outer levels (an L2 line holds
+    whole L1 lines).  L2 sees exactly the L1 miss sequence; each level
+    is evaluated on its (already much thinner) input stream, per access.
+
+    ``kernel="vectorized"`` (default) computes every level's hit/miss
+    verdicts with the batched per-set stack-distance kernels and
+    extracts the miss stream by boolean mask; ``"reference"`` drives
+    the sequential :class:`LRUCache` loop.  Both are exact and produce
+    identical integer counts at every level.
+    """
+    kernels.check_kernel(kernel)
+    configs = _check_configs(configs)
     stream = np.asarray(addresses, dtype=np.int64)
     levels = []
     for config in configs:
-        cache = LRUCache(config)
         lines = to_lines(stream, config.line_size)
-        miss_lines = []
-        previous = None
-        hits = 0
-        for line in lines.tolist():
-            if line == previous:
-                hits += 1
-                continue
-            previous = line
-            if not cache.access(line):
-                miss_lines.append(line)
-        cache.accesses += hits  # consecutive duplicates are hits
-        levels.append(cache.stats())
+        if kernel == "vectorized":
+            run_lines, _ = collapse_consecutive(lines)
+            miss, cold = kernels.run_outcomes(run_lines, config)
+            levels.append(CacheStats(
+                config=config,
+                accesses=len(lines),
+                misses=int(np.count_nonzero(miss)),
+                cold_misses=int(np.count_nonzero(cold)),
+            ))
+            miss_lines = run_lines[miss]
+        else:
+            cache = LRUCache(config)
+            fetched = []
+            previous = None
+            hits = 0
+            for line in lines.tolist():
+                if line == previous:
+                    hits += 1
+                    continue
+                previous = line
+                if not cache.access(line):
+                    fetched.append(line)
+            cache.accesses += hits  # consecutive duplicates are hits
+            levels.append(cache.stats())
+            miss_lines = np.asarray(fetched, dtype=np.int64)
         # The next level sees the miss lines as byte addresses.
-        stream = np.asarray(miss_lines, dtype=np.int64) * config.line_size
+        stream = miss_lines * config.line_size
     return HierarchyStats(levels=levels)
 
 

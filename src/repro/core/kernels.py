@@ -204,8 +204,14 @@ def set_partition(run_lines: np.ndarray, n_sets: int) -> np.ndarray:
     return run_lines[order]
 
 
+def _partition_order(run_lines: np.ndarray, n_sets: int) -> np.ndarray:
+    """Stable permutation grouping the stream into per-set blocks."""
+    return _argsort_bounded(run_lines % n_sets, n_sets)
+
+
 def _partitioned_prev(run_lines: np.ndarray, n_sets: int,
-                      prev: np.ndarray) -> np.ndarray:
+                      prev: np.ndarray,
+                      order: np.ndarray = None) -> np.ndarray:
     """Previous-occurrence indices of the set-partitioned stream,
     derived from the unpartitioned ``prev`` without a second argsort
     over line addresses.
@@ -215,7 +221,8 @@ def _partitioned_prev(run_lines: np.ndarray, n_sets: int,
     previous occurrence IS the unpartitioned one relocated:
     ``prev_part[k] = rank[prev[order[k]]]``.
     """
-    order = _argsort_bounded(run_lines % n_sets, n_sets)
+    if order is None:
+        order = _partition_order(run_lines, n_sets)
     rank = np.empty(len(order), dtype=np.int64)
     rank[order] = np.arange(len(order), dtype=np.int64)
     moved = prev[order]
@@ -251,6 +258,146 @@ def set_distance_histogram(run_lines: np.ndarray, n_sets: int,
     else:
         counts = np.zeros(1, dtype=np.int64)
     return counts.astype(np.int64, copy=False), int(len(run_lines) - warm.sum())
+
+
+def per_set_distances(run_lines: np.ndarray, n_sets: int,
+                      prev: np.ndarray = None) -> tuple:
+    """``(distances, cold)`` per access of a collapsed run stream, in
+    stream order: ``distances[i]`` is the access's LRU stack distance
+    *within its set* and ``cold[i]`` marks first touches (where the
+    distance value is meaningless).
+
+    Unlike :func:`set_distance_histogram` this keeps the per-access
+    verdicts instead of aggregating, which is what the hierarchy,
+    victim and prefetch simulators need.  ``prev`` optionally supplies
+    :func:`previous_occurrences` of the unpartitioned stream so callers
+    sharing one stream pay for that argsort once.
+    """
+    run_lines = np.asarray(run_lines, dtype=np.int64)
+    if prev is None:
+        prev = previous_occurrences(run_lines)
+    cold = prev < 0
+    if n_sets <= 1:
+        return dominance_counts(prev) - prev, cold
+    order = _partition_order(run_lines, n_sets)
+    seq_prev = _partitioned_prev(run_lines, n_sets, prev, order=order)
+    part = dominance_counts(seq_prev) - seq_prev
+    distances = np.empty(len(run_lines), dtype=np.int64)
+    distances[order] = part
+    return distances, cold
+
+
+def _shallow_outcomes(run_lines: np.ndarray, n_sets: int,
+                      ways: int) -> np.ndarray:
+    """Per-access miss verdicts for ``ways <= 2``, without dominance
+    counting.
+
+    Partition the stream by set and drop consecutive same-set
+    duplicates: the dropped positions are exactly the distance-1 hits,
+    and in the remaining (adjacent-distinct) subsequence a warm access
+    at distance 2 is exactly one whose line reappears two slots after
+    its previous occurrence -- any farther, and the window between the
+    two occurrences holds two adjacent-distinct accesses to lines other
+    than it, i.e. at least two distinct lines, pushing the distance
+    past 2.  So the whole verdict is two shifted comparisons, O(n)
+    instead of the O(n log n) merge count.  Line equality implies set
+    equality (each line maps to one set), so no set-id comparisons are
+    needed.
+    """
+    n = len(run_lines)
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    order = None
+    grouped = run_lines
+    if n_sets > 1:
+        order = _partition_order(run_lines, n_sets)
+        grouped = run_lines[order]
+    dup = np.zeros(n, dtype=bool)
+    np.equal(grouped[1:], grouped[:-1], out=dup[1:])
+    kept = np.flatnonzero(~dup)
+    collapsed = grouped[kept]
+    miss_part = np.empty(n, dtype=bool)
+    miss_part[dup] = False
+    miss_collapsed = np.ones(len(collapsed), dtype=bool)
+    if ways == 2 and len(collapsed) > 2:
+        np.not_equal(collapsed[2:], collapsed[:-2], out=miss_collapsed[2:])
+    miss_part[kept] = miss_collapsed
+    if order is None:
+        return miss_part
+    miss = np.empty(n, dtype=bool)
+    miss[order] = miss_part
+    return miss
+
+
+def run_outcomes(run_lines: np.ndarray, config: CacheConfig,
+                 prev: np.ndarray = None) -> tuple:
+    """``(miss, cold)`` boolean masks per access of a collapsed run
+    stream through a set-associative LRU cache.
+
+    Exactness: a set-associative LRU cache is ``n_sets`` independent
+    fully-associative LRU stacks, and an access hits iff its set's
+    stack holds the line -- i.e. iff fewer than ``ways`` distinct lines
+    of the same set were touched since its previous access.  That count
+    is exactly the set-relative stack distance, so
+
+        miss  <=>  cold  or  set-relative distance > ways,
+
+    matching the sequential :class:`~repro.core.cache.LRUCache` verdict
+    per access, not just in aggregate.  Direct-mapped and two-way
+    configurations (the paper's main design points) resolve the
+    threshold by adjacency (:func:`_shallow_outcomes`); deeper
+    associativities take the full per-set distance computation.
+    """
+    run_lines = np.asarray(run_lines, dtype=np.int64)
+    if prev is None:
+        prev = previous_occurrences(run_lines)
+    cold = prev < 0
+    if config.ways <= 2:
+        return _shallow_outcomes(run_lines, config.n_sets, config.ways), cold
+    distances, _ = per_set_distances(run_lines, config.n_sets, prev=prev)
+    return cold | (distances > config.ways), cold
+
+
+def line_miss_mask(lines: np.ndarray, config: CacheConfig) -> np.ndarray:
+    """Per-access hit/miss verdicts for an *uncollapsed* line-address
+    stream (True = miss).  Consecutive duplicates are guaranteed LRU
+    hits, so outcomes are computed on the collapsed runs and scattered
+    back; positions between run heads stay False."""
+    lines = np.asarray(lines, dtype=np.int64).ravel()
+    outcomes = np.zeros(len(lines), dtype=bool)
+    if len(lines) == 0:
+        return outcomes
+    keep = np.empty(len(lines), dtype=bool)
+    keep[0] = True
+    np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+    miss, _ = run_outcomes(lines[keep], config)
+    outcomes[keep] = miss
+    return outcomes
+
+
+def miss_mask(addresses: np.ndarray, config: CacheConfig) -> np.ndarray:
+    """Per-access hit/miss verdicts for a byte-address stream through
+    ``config`` (True = miss); exact drop-in for recording
+    :meth:`LRUCache.access` returns along the trace."""
+    shift = int(config.line_size).bit_length() - 1
+    lines = np.asarray(addresses, dtype=np.int64).ravel() >> shift
+    return line_miss_mask(lines, config)
+
+
+def miss_stream(addresses: np.ndarray, config: CacheConfig) -> np.ndarray:
+    """The exact line-address sequence ``config`` fetches from the next
+    level down (its misses, in access order) for a byte-address
+    stream."""
+    shift = int(config.line_size).bit_length() - 1
+    lines = np.asarray(addresses, dtype=np.int64).ravel() >> shift
+    if len(lines) == 0:
+        return lines
+    keep = np.empty(len(lines), dtype=bool)
+    keep[0] = True
+    np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+    run_lines = lines[keep]
+    miss, _ = run_outcomes(run_lines, config)
+    return run_lines[miss]
 
 
 @dataclass
@@ -367,7 +514,12 @@ __all__ = [
     "SetDistanceProfile",
     "check_kernel",
     "dominance_counts",
+    "line_miss_mask",
+    "miss_mask",
+    "miss_stream",
+    "per_set_distances",
     "previous_occurrences",
+    "run_outcomes",
     "sequence_stats",
     "set_distance_histogram",
     "set_partition",

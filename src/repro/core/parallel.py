@@ -152,6 +152,7 @@ def simulate_parallel(
     placements,
     distribution: WorkDistribution,
     config: CacheConfig,
+    kernel: str = "vectorized",
 ) -> ParallelStats:
     """Simulate private per-generator caches over a shared texture
     memory.
@@ -160,7 +161,8 @@ def simulate_parallel(
     fetched summed across generators divided by the distinct lines of
     the whole frame: 1.0 means no texture data was fetched by more than
     one generator; the excess is traffic the single-generator system
-    would not have paid.
+    would not have paid.  ``kernel`` selects the per-generator LRU
+    simulation path (see :func:`repro.core.cache.simulate`).
     """
     if not trace.has_positions:
         raise ValueError(
@@ -171,20 +173,23 @@ def simulate_parallel(
     mapped = AddressMapper(placements).map_trace(trace)
     owner = distribution.assign(trace.x, trace.y)
     stats = []
-    distinct_union = set()
-    distinct_sum = 0
+    distinct_lines = []
     fragments = np.zeros(distribution.n_generators, dtype=np.int64)
     for index in range(distribution.n_generators):
         mask = owner == index
         addresses = mapped[mask].reshape(-1)
-        stats.append(simulate(addresses, config))
-        lines = np.unique(to_lines(addresses, config.line_size))
-        distinct_sum += len(lines)
-        distinct_union.update(lines.tolist())
+        stats.append(simulate(addresses, config, kernel=kernel))
+        distinct_lines.append(np.unique(to_lines(addresses, config.line_size)))
         # Eight accesses per trilinear fragment; bilinear fragments
         # contribute four -- fragment share approximated by accesses.
         fragments[index] = int(np.count_nonzero(mask))
-    redundancy = distinct_sum / max(len(distinct_union), 1)
+    # Distinct-line bookkeeping stays in arrays: per-generator uniques
+    # concatenate into one frame-wide np.unique instead of accumulating
+    # a Python set line by line.
+    distinct_sum = sum(len(lines) for lines in distinct_lines)
+    union = np.unique(np.concatenate(distinct_lines)) \
+        if distinct_lines else np.empty(0, dtype=np.int64)
+    redundancy = distinct_sum / max(len(union), 1)
     return ParallelStats(
         distribution=distribution.name,
         config=config,

@@ -24,25 +24,34 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from . import kernels
 from .cache import CacheConfig, LRUCache, to_lines
 from .machine import PAPER_MACHINE, MachineModel
 
 
 def fragment_miss_counts(
-    addresses: np.ndarray, config: CacheConfig, accesses_per_fragment: int = 8
+    addresses: np.ndarray, config: CacheConfig,
+    accesses_per_fragment: int = 8, kernel: str = "vectorized",
 ) -> np.ndarray:
     """Number of cache misses in each fragment's texel quadruple/octet.
 
-    Simulates the access stream in order (no collapsing: per-access
-    outcomes are needed) and folds outcomes per fragment.  Trailing
-    accesses that do not fill a whole fragment are dropped.
+    Per-access outcomes (not aggregates) are needed here, folded per
+    fragment; trailing accesses that do not fill a whole fragment are
+    dropped.  ``kernel="vectorized"`` (default) reads the outcomes off
+    :func:`repro.core.kernels.line_miss_mask` and reshapes;
+    ``"reference"`` walks the sequential :class:`LRUCache`.  Both are
+    exact per access.
     """
+    kernels.check_kernel(kernel)
     lines = to_lines(addresses, config.line_size)
     n = len(lines) - (len(lines) % accesses_per_fragment)
-    cache = LRUCache(config)
-    outcomes = np.empty(n, dtype=bool)
-    for index, line in enumerate(lines[:n].tolist()):
-        outcomes[index] = not cache.access(line)
+    if kernel == "vectorized":
+        outcomes = kernels.line_miss_mask(lines[:n], config)
+    else:
+        cache = LRUCache(config)
+        outcomes = np.empty(n, dtype=bool)
+        for index, line in enumerate(lines[:n].tolist()):
+            outcomes[index] = not cache.access(line)
     return outcomes.reshape(-1, accesses_per_fragment).sum(axis=1)
 
 

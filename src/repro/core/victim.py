@@ -10,6 +10,17 @@ ping-ponging conflict pairs resolve without a memory fetch.
 :func:`simulate_victim` measures how many victim-buffer entries a
 direct-mapped texture cache needs to match two-way associativity on
 real traces -- an ablation beyond the paper's design space.
+
+The default ``kernel="vectorized"`` path rests on an invariant of the
+swap protocol: whatever the victim buffer does, the main cache's
+resident of a set is always the set's most recently accessed line --
+the victim-hit path and the full-miss path both install the accessed
+line.  Main-cache outcomes are therefore exactly those of a plain
+direct-mapped cache (per-set stack distance 1 = hit), computable by
+the batched kernels; only the main-*miss* substream (typically a few
+percent of accesses) flows through the sequential victim-buffer LRU,
+whose swap bookkeeping has no stack-distance characterization.  The
+full sequential loop stays selectable as the ``"reference"`` oracle.
 """
 
 from __future__ import annotations
@@ -17,6 +28,9 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+import numpy as np
+
+from . import kernels
 from .cache import CacheConfig, LineStream
 
 
@@ -41,24 +55,95 @@ class VictimStats:
         return self.victim_hits / self.accesses if self.accesses else 0.0
 
 
-def simulate_victim(trace, config: CacheConfig, victim_lines: int) -> VictimStats:
+def _displaced_residents(run_lines: np.ndarray, n_sets: int) -> np.ndarray:
+    """Per access, the line currently resident in its direct-mapped set
+    (= the set's previous access, whatever line it was), or -1 when the
+    set is still empty."""
+    order = kernels._partition_order(run_lines, n_sets)
+    grouped = run_lines[order]
+    grouped_set = grouped % n_sets
+    part = np.empty(len(run_lines), dtype=np.int64)
+    if len(run_lines):
+        part[0] = -1
+        part[1:] = np.where(grouped_set[1:] == grouped_set[:-1],
+                            grouped[:-1], -1)
+    residents = np.empty(len(run_lines), dtype=np.int64)
+    residents[order] = part
+    return residents
+
+
+def _victim_buffer_walk(miss_lines, residents, cold_mask,
+                        victim_lines: int) -> tuple:
+    """Sequential LRU victim buffer over the main-miss substream;
+    returns (misses, victim_hits, cold).  Identical bookkeeping to the
+    reference loop, fed only the accesses that miss the main cache."""
+    victim = OrderedDict()
+    misses = 0
+    victim_hits = 0
+    cold = 0
+    for line, resident, is_cold in zip(miss_lines.tolist(),
+                                       residents.tolist(),
+                                       cold_mask.tolist()):
+        if line in victim:
+            # Swap with the displaced main-cache line.
+            del victim[line]
+            victim_hits += 1
+        else:
+            misses += 1
+            cold += is_cold
+        if resident >= 0:
+            victim[resident] = None
+            victim.move_to_end(resident)
+            if len(victim) > victim_lines:
+                victim.popitem(last=False)
+    return misses, victim_hits, cold
+
+
+def simulate_victim(trace, config: CacheConfig, victim_lines: int,
+                    kernel: str = "vectorized") -> VictimStats:
     """Simulate a direct-mapped cache backed by a ``victim_lines``-entry
     fully-associative victim buffer.
 
     On a main-cache miss that hits the victim buffer, the line and the
     displaced main-cache resident swap (no memory traffic); on a full
     miss the fill's victim is pushed into the buffer (LRU).
+    ``kernel="vectorized"`` (default) classifies main-cache outcomes
+    with the batched per-set kernels and walks only the miss substream
+    sequentially; ``"reference"`` walks every access.  Both are exact.
     """
     if config.ways != 1:
         raise ValueError("victim caches back a direct-mapped main cache")
     if victim_lines < 0:
         raise ValueError("victim_lines must be >= 0")
+    kernels.check_kernel(kernel)
     if isinstance(trace, LineStream):
         stream = trace
     else:
         stream = LineStream.from_addresses(trace, config.line_size)
 
     n_sets = config.n_sets
+    if kernel == "vectorized":
+        run = stream.run_lines
+        prev = kernels.previous_occurrences(run)
+        main_miss, cold = kernels.run_outcomes(run, config, prev=prev)
+        if victim_lines == 0:
+            misses = int(np.count_nonzero(main_miss))
+            victim_hits = 0
+            cold_count = int(np.count_nonzero(cold))
+        else:
+            residents = _displaced_residents(run, n_sets)
+            misses, victim_hits, cold_count = _victim_buffer_walk(
+                run[main_miss], residents[main_miss], cold[main_miss],
+                victim_lines)
+        return VictimStats(
+            config=config,
+            victim_lines=victim_lines,
+            accesses=stream.total_accesses,
+            misses=misses,
+            victim_hits=victim_hits,
+            cold_misses=cold_count,
+        )
+
     mask = n_sets - 1 if (n_sets & (n_sets - 1)) == 0 else None
     main = {}
     victim = OrderedDict()

@@ -291,8 +291,19 @@ class Engine:
                      assoc, cache_sizes, kernel: str = "vectorized") -> list:
         rows = []
         if assoc is None:
-            curve = miss_rate_curve(streams, line_size, sorted(cache_sizes))
-            for stats in curve.as_stats():
+            if kernel == "vectorized":
+                curve = miss_rate_curve(streams, line_size,
+                                        sorted(cache_sizes))
+                stats_per_size = curve.as_stats()
+            else:
+                # The reference oracle must really be the sequential
+                # simulator, not the vectorized profile in disguise.
+                stream = streams.stream(line_size)
+                stats_per_size = [
+                    simulate(stream, CacheConfig(int(size), line_size, None),
+                             kernel=kernel)
+                    for size in sorted(cache_sizes)]
+            for stats in stats_per_size:
                 rows.append(ExperimentRow(
                     scene=trace_spec.scene, order=trace_spec.order,
                     layout=tuple(layout_spec), stats=stats))
