@@ -101,6 +101,23 @@ def _add_kernel_argument(parser):
                              "kernels or the sequential reference simulator")
 
 
+def _add_streaming_arguments(parser):
+    parser.add_argument("--chunk-size", type=int, default=None,
+                        metavar="ACCESSES",
+                        help="stream the pipeline in blocks of at most this "
+                             "many texel accesses: bit-identical results at "
+                             "peak memory bounded by the chunk, independent "
+                             "of trace length")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="fan the streaming profile fold across this "
+                             "many processes (implies streaming)")
+
+
+def _streaming_requested(args) -> bool:
+    return bool(getattr(args, "chunk_size", None)) or \
+        getattr(args, "shards", 0) > 1
+
+
 def _order_spec(args, scene_name: str) -> tuple:
     """The traversal-order spec tuple selected by the CLI flags."""
     if args.order == "paper":
@@ -165,10 +182,21 @@ def _simulate(args) -> int:
     engine = Engine()
     spec = _trace_spec(args)
     layout_spec = _layout_spec(args, cache_size=args.cache_size)
-    addresses = engine.addresses(spec, layout_spec)
     config = CacheConfig(args.cache_size, args.line_size,
                          None if args.assoc == 0 else args.assoc)
-    stats = classify_misses(addresses, config, kernel=args.kernel)
+    if _streaming_requested(args):
+        if args.kernel != "vectorized":
+            print("error: --chunk-size/--shards require --kernel vectorized",
+                  file=sys.stderr)
+            return 2
+        from .engine import classify_streamed
+        streams = engine.streamed(spec, layout_spec,
+                                  chunk_size=args.chunk_size,
+                                  shards=args.shards)
+        stats = classify_streamed(streams, config)
+    else:
+        addresses = engine.addresses(spec, layout_spec)
+        stats = classify_misses(addresses, config, kernel=args.kernel)
     bandwidth = cached_bandwidth(stats.miss_rate, args.line_size)
     print(f"{args.scene} / {layout_from_spec(layout_spec).name} / "
           f"{order_from_spec(spec.order).name} / {config.label()}")
@@ -192,11 +220,17 @@ def _sweep(args) -> int:
                 layouts=(layout_spec,), scale=args.scale, time=args.time,
                 max_anisotropy=args.aniso, lod_bias=args.lod_bias,
                 use_mipmaps=not args.no_mipmaps)
+    if _streaming_requested(args) and args.kernel != "vectorized":
+        print("error: --chunk-size/--shards require --kernel vectorized",
+              file=sys.stderr)
+        return 2
+    run_kwargs = dict(kernel=args.kernel, chunk_size=args.chunk_size,
+                      shards=args.shards)
 
     if args.axis == "cache":
         result = engine.run(ExperimentSpec(
             cache_sizes=PAPER_CACHE_SIZES, line_sizes=(args.line_size,), **grid),
-            kernel=args.kernel)
+            **run_kwargs)
         rows = [[f"{row.config.size // 1024}KB",
                  f"{100 * row.stats.miss_rate:.3f}%"] for row in result.rows]
         print(format_table(["cache size", "miss rate"], rows,
@@ -205,7 +239,7 @@ def _sweep(args) -> int:
     elif args.axis == "line":
         result = engine.run(ExperimentSpec(
             cache_sizes=(args.cache_size,), line_sizes=(16, 32, 64, 128, 256),
-            **grid), kernel=args.kernel)
+            **grid), **run_kwargs)
         rows = [[f"{row.config.line_size}B",
                  f"{100 * row.stats.miss_rate:.3f}%"] for row in result.rows]
         print(format_table(["line size", "miss rate"], rows,
@@ -214,7 +248,7 @@ def _sweep(args) -> int:
     else:  # assoc
         result = engine.run(ExperimentSpec(
             cache_sizes=(args.cache_size,), line_sizes=(args.line_size,),
-            assocs=(1, 2, 4, 8, None), **grid), kernel=args.kernel)
+            assocs=(1, 2, 4, 8, None), **grid), **run_kwargs)
         rows = [["full" if row.config.assoc is None else f"{row.config.assoc}-way",
                  f"{100 * row.stats.miss_rate:.3f}%"] for row in result.rows]
         print(format_table(["associativity", "miss rate"], rows,
@@ -285,26 +319,34 @@ def _cache(args) -> int:
     if args.action == "stats":
         report = store.stats()
         rows = [[kind, entry["files"], f"{entry['bytes'] / 2**20:.2f} MB",
+                 entry["parts"], f"{entry['part_bytes'] / 2**20:.2f} MB",
                  entry["tmp"]]
                 for kind, entry in report["kinds"].items()]
-        rows.append(["total", report["total_files"],
-                     f"{report['total_bytes'] / 2**20:.2f} MB",
+        rows.append(["total", report["total_files"] - report["part_files"],
+                     f"{(report['total_bytes'] - report['part_bytes']) / 2**20:.2f} MB",
+                     report["part_files"],
+                     f"{report['part_bytes'] / 2**20:.2f} MB",
                      report["tmp_files"]])
-        print(format_table(["artifact kind", "files", "size", "tmp"], rows,
-                           title=f"artifact store at {report['root']}"))
+        print(format_table(
+            ["artifact kind", "files", "size", "parts", "part size", "tmp"],
+            rows, title=f"artifact store at {report['root']}"))
         if report["tmp_files"]:
             print(f"note: {report['tmp_files']} orphaned temp file(s) from "
                   "interrupted writers; `repro cache repair` purges them")
+        if report["orphaned_parts"]:
+            print(f"note: {report['orphaned_parts']} orphaned chunked-trace "
+                  "part(s) from interrupted streaming writers; "
+                  "`repro cache repair` purges stale ones")
         if report["quarantined"]:
             print(f"note: {report['quarantined']} file(s) in quarantine/ "
                   "(see the *.reason.json records alongside them)")
     elif args.action == "verify":
         report = store.verify()
         rows = [[kind, entry["ok"], len(entry["bad"]), entry["pending"],
-                 len(entry["tmp"])]
+                 len(entry["tmp"]), len(entry["orphaned_parts"])]
                 for kind, entry in report["kinds"].items()]
-        print(format_table(["artifact kind", "ok", "bad", "pending", "tmp"],
-                           rows,
+        print(format_table(["artifact kind", "ok", "bad", "pending", "tmp",
+                            "orphaned parts"], rows,
                            title=f"integrity scan of {report['root']}"))
         for kind, entry in report["kinds"].items():
             for problem in entry["bad"]:
@@ -312,6 +354,9 @@ def _cache(args) -> int:
         if report["tmp"]:
             print(f"note: {report['tmp']} temp file(s); "
                   "`repro cache repair` purges stale ones")
+        if report["orphaned_parts"]:
+            print(f"note: {report['orphaned_parts']} stale orphaned "
+                  "chunked-trace part(s); `repro cache repair` purges them")
         if report["bad"]:
             print(f"{report['bad']} corrupt artifact(s); "
                   "run `repro cache repair` to quarantine them")
@@ -320,7 +365,8 @@ def _cache(args) -> int:
     elif args.action == "repair":
         report = store.repair()
         print(f"quarantined {len(report['quarantined'])} artifact(s), "
-              f"purged {len(report['purged_tmp'])} stale temp file(s) "
+              f"purged {len(report['purged_tmp'])} stale temp file(s) and "
+              f"{len(report['purged_parts'])} orphaned part file(s) "
               f"from {report['root']}")
         for name in report["quarantined"]:
             print(f"  quarantined {name}")
@@ -389,6 +435,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--assoc", type=int, default=2,
                      help="ways per set; 0 = fully associative")
     _add_kernel_argument(sim)
+    _add_streaming_arguments(sim)
     sim.set_defaults(func=_simulate)
 
     sweep = subparsers.add_parser("sweep", help="sweep one cache axis")
@@ -399,6 +446,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cache-size", type=int, default=32 * 1024)
     sweep.add_argument("--line-size", type=int, default=64)
     _add_kernel_argument(sweep)
+    _add_streaming_arguments(sweep)
     sweep.set_defaults(func=_sweep)
 
     parallel = subparsers.add_parser(

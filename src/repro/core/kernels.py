@@ -51,7 +51,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .cache import CacheConfig, CacheStats, LineStream
+from .cache import CacheConfig, CacheStats, LineStream, collapse_consecutive, to_lines
 
 #: Distance value recorded for cold (first-touch) accesses; mirrors
 #: :data:`repro.core.stackdist.COLD`.
@@ -430,6 +430,24 @@ class SetDistanceProfile:
         return cls(line_size=stream.line_size, n_sets=n_sets, counts=counts,
                    cold=cold, duplicate_hits=stream.duplicate_hits)
 
+    @classmethod
+    def from_blocks(cls, blocks, line_size: int,
+                    n_sets: int) -> "SetDistanceProfile":
+        """Fold :meth:`from_stream` over an iterable of *raw*
+        (uncollapsed) line-address blocks.
+
+        Exactly equal -- same counts, cold and duplicate-hit fields --
+        to :meth:`from_stream` over the concatenated stream, for any
+        partition of the stream into blocks, while holding only one
+        block plus :class:`PartialSetProfile` state (bounded by the
+        number of distinct lines, not the trace length) in memory.
+        """
+        state = PartialSetProfile.empty(line_size, n_sets)
+        for block in blocks:
+            state = state.merge(PartialSetProfile.from_lines(
+                block, line_size, n_sets))
+        return state.finalize()
+
     def misses_at(self, ways: int) -> int:
         """Exact miss count for the ``ways``-associative LRU cache of
         ``n_sets * ways * line_size`` bytes."""
@@ -460,6 +478,249 @@ class SetDistanceProfile:
             misses=misses,
             cold_misses=cold,
         )
+
+
+def _set_offsets(set_ids: np.ndarray, n_sets: int) -> np.ndarray:
+    """Group bounds of a set-grouped array: set ``s`` occupies
+    ``[offsets[s], offsets[s+1])``."""
+    offsets = np.zeros(n_sets + 1, dtype=np.int64)
+    np.cumsum(np.bincount(set_ids, minlength=n_sets), out=offsets[1:])
+    return offsets
+
+
+def _grouped_rank(offsets: np.ndarray, n: int) -> np.ndarray:
+    """0-based within-group rank of each element of a grouped array."""
+    return (np.arange(n, dtype=np.int64)
+            - np.repeat(offsets[:-1], np.diff(offsets)))
+
+
+def _member_positions(sorted_values: np.ndarray, queries: np.ndarray) -> tuple:
+    """``(found, pos)``: membership of ``queries`` in the sorted,
+    duplicate-free ``sorted_values``, with ``pos`` the match index
+    (meaningful only where ``found``)."""
+    if len(sorted_values) == 0 or len(queries) == 0:
+        return (np.zeros(len(queries), dtype=bool),
+                np.zeros(len(queries), dtype=np.int64))
+    pos = np.searchsorted(sorted_values, queries)
+    np.minimum(pos, len(sorted_values) - 1, out=pos)
+    return sorted_values[pos] == queries, pos
+
+
+@dataclass
+class PartialSetProfile:
+    """Resumable per-block stack-distance state for one
+    ``(line_size, n_sets)`` pair -- the unit the streaming pipeline
+    folds over :class:`~repro.pipeline.trace.FragmentBlock` chunks.
+
+    The state of a stream segment is everything a *later* segment can
+    observe about it plus everything an *earlier* segment could still
+    change about it:
+
+    * ``counts`` -- histogram of distances already closed inside the
+      segment (an access whose previous same-line touch is also in the
+      segment; its distance window is sealed and no merge can move it);
+    * ``open_lines`` -- the segment's first touches, per set in
+      first-touch order.  Their distances depend on what precedes the
+      segment, so they stay symbolic until a left merge resolves them
+      (or :meth:`finalize` declares them cold);
+    * ``stack_lines`` -- the segment's distinct lines per set in
+      MRU-first (last-occurrence) order: the exact LRU stack a later
+      segment's opens land on;
+    * ``first_line`` / ``last_line`` -- raw boundary addresses, so a
+      merge can credit a boundary duplicate as the collapsed stream
+      would.
+
+    :meth:`merge` is exact -- ``a.merge(b)`` equals
+    ``from_lines(concat(a_lines, b_lines))`` field for field -- which
+    makes it associative, so any block partition of a stream (and any
+    merge tree over the per-shard partials) finalizes to the identical
+    :class:`SetDistanceProfile`.
+
+    The resolution formula: for segment ``b``'s ``k``-th open of a set
+    (1-based first-touch order) found at depth ``d`` (1 = MRU) in
+    segment ``a``'s ending stack, the distinct lines touched between
+    the two occurrences are ``b``'s ``k - 1`` earlier opens of the set
+    unioned with the ``d - 1`` lines above it in ``a``'s stack, so
+
+        distance = k + d - 1 - #{earlier opens resident above it},
+
+    and the correction term is a per-set dominance count over
+    (first-touch order, depth) pairs -- the same merge-counting kernel
+    the in-RAM path uses.
+    """
+
+    line_size: int
+    n_sets: int
+    counts: np.ndarray
+    duplicate_hits: int
+    total_accesses: int
+    stack_lines: np.ndarray
+    open_lines: np.ndarray
+    offsets: np.ndarray
+    first_line: int
+    last_line: int
+
+    @classmethod
+    def empty(cls, line_size: int, n_sets: int) -> "PartialSetProfile":
+        """The merge identity (profile of the empty stream)."""
+        if n_sets < 1:
+            raise ValueError("n_sets must be at least 1")
+        return cls(line_size=line_size, n_sets=n_sets,
+                   counts=np.zeros(1, dtype=np.int64), duplicate_hits=0,
+                   total_accesses=0,
+                   stack_lines=np.empty(0, dtype=np.int64),
+                   open_lines=np.empty(0, dtype=np.int64),
+                   offsets=np.zeros(n_sets + 1, dtype=np.int64),
+                   first_line=-1, last_line=-1)
+
+    @classmethod
+    def from_lines(cls, lines: np.ndarray, line_size: int,
+                   n_sets: int) -> "PartialSetProfile":
+        """State of one raw (uncollapsed) line-address block."""
+        if n_sets < 1:
+            raise ValueError("n_sets must be at least 1")
+        lines = np.asarray(lines, dtype=np.int64).ravel()
+        if len(lines) == 0:
+            return cls.empty(line_size, n_sets)
+        run_lines, duplicate_hits = collapse_consecutive(lines)
+        prev = previous_occurrences(run_lines)
+        counts, _ = set_distance_histogram(run_lines, n_sets, prev=prev)
+        n = len(run_lines)
+        if n_sets > 1:
+            sets = run_lines % n_sets
+        else:
+            sets = np.zeros(n, dtype=np.int64)
+        open_idx = np.flatnonzero(prev < 0)
+        open_order = open_idx[_argsort_bounded(sets[open_idx], n_sets)]
+        last_mask = np.ones(n, dtype=bool)
+        last_mask[prev[prev >= 0]] = False
+        last_idx = np.flatnonzero(last_mask)[::-1]  # MRU first
+        stack_order = last_idx[_argsort_bounded(sets[last_idx], n_sets)]
+        return cls(line_size=line_size, n_sets=n_sets,
+                   counts=counts.astype(np.int64, copy=False),
+                   duplicate_hits=duplicate_hits, total_accesses=len(lines),
+                   stack_lines=run_lines[stack_order],
+                   open_lines=run_lines[open_order],
+                   offsets=_set_offsets(sets[open_idx], n_sets),
+                   first_line=int(lines[0]), last_line=int(lines[-1]))
+
+    @classmethod
+    def from_addresses(cls, addresses: np.ndarray, line_size: int,
+                       n_sets: int) -> "PartialSetProfile":
+        return cls.from_lines(to_lines(addresses, line_size),
+                              line_size, n_sets)
+
+    def merge(self, other: "PartialSetProfile") -> "PartialSetProfile":
+        """State of ``self``'s stream followed by ``other``'s."""
+        a, b = self, other
+        if a.line_size != b.line_size or a.n_sets != b.n_sets:
+            raise ValueError(
+                f"cannot merge ({a.line_size}B, {a.n_sets} sets) with "
+                f"({b.line_size}B, {b.n_sets} sets)")
+        if a.total_accesses == 0:
+            return b
+        if b.total_accesses == 0:
+            return a
+        n_sets = a.n_sets
+
+        # Resolve b's opens against a's ending stack.  Lines never
+        # span sets, so one global sorted lookup serves every set.
+        sort_a = np.argsort(a.stack_lines)
+        found, pos = _member_positions(a.stack_lines[sort_a], b.open_lines)
+        hit_idx = np.flatnonzero(found)
+        a_rank = _grouped_rank(a.offsets, len(a.stack_lines))
+        depth = a_rank[sort_a[pos[hit_idx]]] + 1       # 1 = MRU
+        k = _grouped_rank(b.offsets, len(b.open_lines))[hit_idx] + 1
+
+        if len(hit_idx):
+            # Overlap correction: per set, count earlier resolved opens
+            # sitting strictly above this line in a's stack.  Rank-
+            # compress (set, depth) keys -- distinct within a set -- and
+            # reuse the dominance kernel; earlier sets always dominate,
+            # so subtracting each group's start rebases the count per
+            # set (the `_partitioned_prev` trick).
+            m = len(hit_idx)
+            if n_sets > 1:
+                hit_sets = b.open_lines[hit_idx] % n_sets  # ascending
+            else:
+                hit_sets = np.zeros(m, dtype=np.int64)
+            change = np.empty(m, dtype=bool)
+            change[0] = True
+            np.not_equal(hit_sets[1:], hit_sets[:-1], out=change[1:])
+            starts = np.flatnonzero(change)
+            base = np.repeat(starts, np.diff(np.append(starts, m)))
+            comp = np.empty(m, dtype=np.int64)
+            comp[np.lexsort((depth, hit_sets))] = np.arange(m, dtype=np.int64)
+            overlap = dominance_counts(comp) - base
+            resolved = np.bincount(k + depth - 1 - overlap)
+        else:
+            resolved = np.zeros(1, dtype=np.int64)
+
+        duplicate_hits = a.duplicate_hits + b.duplicate_hits
+        if b.first_line == a.last_line:
+            # The concatenated stream collapses b's leading access into
+            # a's final run.  That access is b's first open of its set
+            # (k == 1) landing on a's MRU (d == 1), so it resolved to
+            # distance 1 above; re-credit it as the collapsed hit it
+            # is.  Dropping an MRU repeat perturbs no other window, so
+            # every remaining count already matches the collapsed
+            # stream.
+            resolved[1] -= 1
+            duplicate_hits += 1
+
+        length = max(len(a.counts), len(b.counts), len(resolved))
+        counts = np.zeros(length, dtype=np.int64)
+        counts[:len(a.counts)] += a.counts
+        counts[:len(b.counts)] += b.counts
+        counts[:len(resolved)] += resolved
+        # Keep the histogram canonical (no trailing zeros; the
+        # boundary correction can zero the last bin) so merged states
+        # compare equal to from_lines states regardless of merge order.
+        nonzero = np.flatnonzero(counts)
+        counts = counts[:int(nonzero[-1]) + 1] if len(nonzero) \
+            else np.zeros(1, dtype=np.int64)
+
+        # Merged stack: b's stack over a's survivors (lines b did not
+        # re-touch), per set.  A composite (set, source) key with one
+        # stable bounded sort interleaves the groups while preserving
+        # each source's internal order.
+        b_touched = np.sort(b.stack_lines)
+        retouched, _ = _member_positions(b_touched, a.stack_lines)
+        survivors = a.stack_lines[~retouched]
+        stack_cat = np.concatenate([b.stack_lines, survivors])
+        open_cat = np.concatenate([a.open_lines, b.open_lines[~found]])
+
+        def interleave(cat, n_first):
+            if n_sets > 1:
+                sets_cat = cat % n_sets
+            else:
+                sets_cat = np.zeros(len(cat), dtype=np.int64)
+            source = np.ones(len(cat), dtype=np.int64)
+            source[:n_first] = 0
+            order = _argsort_bounded(sets_cat * 2 + source, 2 * n_sets)
+            return cat[order], sets_cat
+
+        stack_lines, stack_sets = interleave(stack_cat, len(b.stack_lines))
+        open_lines, _ = interleave(open_cat, len(a.open_lines))
+        return PartialSetProfile(
+            line_size=a.line_size, n_sets=n_sets, counts=counts,
+            duplicate_hits=duplicate_hits,
+            total_accesses=a.total_accesses + b.total_accesses,
+            stack_lines=stack_lines, open_lines=open_lines,
+            offsets=_set_offsets(stack_sets, n_sets),
+            first_line=a.first_line, last_line=b.last_line)
+
+    def finalize(self) -> SetDistanceProfile:
+        """Close the fold: unresolved opens are the cold misses."""
+        nonzero = np.flatnonzero(self.counts)
+        if len(nonzero):
+            counts = self.counts[:int(nonzero[-1]) + 1]
+        else:
+            counts = np.zeros(1, dtype=np.int64)
+        return SetDistanceProfile(
+            line_size=self.line_size, n_sets=self.n_sets,
+            counts=counts.astype(np.int64, copy=False),
+            cold=len(self.open_lines), duplicate_hits=self.duplicate_hits)
 
 
 def simulate_stream(stream: LineStream, config: CacheConfig) -> CacheStats:
@@ -511,6 +772,7 @@ def sequence_stats(collapsed_segments, config: CacheConfig) -> list:
 __all__ = [
     "COLD",
     "KERNELS",
+    "PartialSetProfile",
     "SetDistanceProfile",
     "check_kernel",
     "dominance_counts",

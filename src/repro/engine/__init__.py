@@ -53,6 +53,11 @@ from .runner import (
     reset_render_calls,
     run_experiment,
 )
+from .streaming import (
+    DEFAULT_CHUNK_SIZE,
+    StreamedProfiles,
+    classify_streamed,
+)
 
 __all__ = [
     "ArtifactStore",
@@ -79,4 +84,7 @@ __all__ = [
     "render_calls",
     "reset_render_calls",
     "run_experiment",
+    "DEFAULT_CHUNK_SIZE",
+    "StreamedProfiles",
+    "classify_streamed",
 ]

@@ -17,6 +17,11 @@ match and stale data self-invalidates.  Four artifact kinds exist:
     Rendered :class:`~repro.pipeline.trace.TexelTrace` archives
     (``.npz`` via :mod:`repro.pipeline.traceio`) plus a ``.json``
     sidecar carrying the render counters and the human-readable key.
+    A trace may instead be stored *chunked* as ``<digest>.pNNNNN.npz``
+    part files (one :class:`~repro.pipeline.trace.FragmentBlock` each)
+    whose sidecar lists a per-part integrity envelope -- the streaming
+    pipeline's representation, written and read one block at a time so
+    traces larger than RAM round-trip through the store.
 ``addresses/``
     Per-layout byte-address streams (``.npy``).
 ``profiles/``
@@ -64,6 +69,7 @@ import errno
 import hashlib
 import json
 import os
+import re
 import shutil
 import tempfile
 import time
@@ -83,6 +89,7 @@ from ..core.kernels import SetDistanceProfile
 from ..core.stackdist import DistanceProfile
 from ..pipeline import traceio
 from ..pipeline.renderer import RenderResult
+from ..pipeline.trace import FragmentBlock, concat_blocks
 from .spec import TraceSpec
 
 #: Stamped into every fingerprint; bump when any pipeline stage changes
@@ -106,6 +113,12 @@ TORN_GRACE_S = 60.0
 #: abandoning it (stale-lock takeover) and computing anyway.
 LOCK_TIMEOUT_S = 300.0
 LOCK_POLL_S = 0.05
+
+#: Chunked-trace part files: ``<digest>.pNNNNN.npz`` (the stem a
+#: ``Path`` reports is ``<digest>.pNNNNN``).  Parts are only artifacts
+#: through the sidecar that lists them; a part no sidecar claims is
+#: litter, like a stale ``*.tmp*``.
+_PART_STEM = re.compile(r"^([0-9a-f]{64})\.p(\d+)$")
 
 #: ``errno`` values that mean "the disk, not the data": the store
 #: demotes itself instead of failing the experiment.
@@ -308,11 +321,15 @@ class ArtifactStore:
 
     def _verify_envelope(self, kind: str, path: Path, sidecar: Path) -> dict:
         """Check one artifact's envelope; returns the sidecar meta or
-        raises :class:`CorruptArtifact` describing the damage."""
-        if not path.exists():
-            raise CorruptArtifact("orphaned sidecar (payload missing)",
-                                  transient=True)
+        raises :class:`CorruptArtifact` describing the damage.
+
+        Chunked artifacts (sidecars with a ``parts`` list instead of a
+        monolithic ``envelope``) verify every listed part's size and
+        digest; the monolithic payload path is not consulted."""
         if not sidecar.exists():
+            if not path.exists():
+                raise CorruptArtifact("orphaned sidecar (payload missing)",
+                                      transient=True)
             raise CorruptArtifact(
                 "missing sidecar (legacy artifact or torn write)",
                 transient=True)
@@ -320,6 +337,12 @@ class ArtifactStore:
             meta = json.loads(sidecar.read_text())
         except (OSError, ValueError) as fault:
             raise CorruptArtifact(f"unreadable sidecar ({fault})") from fault
+        if isinstance(meta, dict) and isinstance(meta.get("parts"), list):
+            self._verify_parts(kind, meta["parts"])
+            return meta
+        if not path.exists():
+            raise CorruptArtifact("orphaned sidecar (payload missing)",
+                                  transient=True)
         envelope = meta.get("envelope") if isinstance(meta, dict) else None
         if not isinstance(envelope, dict):
             raise CorruptArtifact("legacy sidecar (no integrity envelope)")
@@ -336,6 +359,42 @@ class ArtifactStore:
             raise CorruptArtifact(
                 "content digest mismatch (bit rot or foreign payload)")
         return meta
+
+    def _verify_parts(self, kind: str, parts: list) -> None:
+        """Check every part of a chunked artifact against its recorded
+        envelope; raises :class:`CorruptArtifact` on the first defect."""
+        for entry in parts:
+            name = entry.get("name") if isinstance(entry, dict) else None
+            if (not isinstance(name, str) or os.sep in name
+                    or ".tmp" in name or not _PART_STEM.match(
+                        name[:-len(".npz")] if name.endswith(".npz") else name)):
+                raise CorruptArtifact("malformed parts manifest")
+            part = self.root / kind / name
+            try:
+                nbytes = part.stat().st_size
+            except OSError:
+                raise CorruptArtifact(f"missing part {name}", transient=True)
+            if nbytes != entry.get("nbytes"):
+                raise CorruptArtifact(
+                    f"part {name}: size mismatch ({nbytes} bytes on disk, "
+                    f"{entry.get('nbytes')} recorded -- truncated or torn)")
+            if _file_digest(part) != entry.get("digest"):
+                raise CorruptArtifact(
+                    f"part {name}: content digest mismatch "
+                    "(bit rot or foreign payload)")
+
+    def _listed_part_names(self, kind: str, digest: str):
+        """Part names the digest's sidecar claims, or ``None`` when
+        there is no (readable, chunked) sidecar."""
+        try:
+            meta = json.loads(self._path(kind, digest, ".json").read_text())
+        except (OSError, ValueError):
+            return None
+        parts = meta.get("parts") if isinstance(meta, dict) else None
+        if not isinstance(parts, list):
+            return None
+        return {entry.get("name") for entry in parts
+                if isinstance(entry, dict)}
 
     def _open_verified(self, kind: str, digest: str, suffix: str):
         """``(path, meta)`` for a verified artifact, or ``None`` on a
@@ -439,7 +498,16 @@ class ArtifactStore:
             return None
         path, meta = checked
         try:
-            trace = traceio.load_trace(str(path))
+            if isinstance(meta.get("parts"), list):
+                # Chunked representation: materialize for callers that
+                # want the whole trace (streaming consumers iterate
+                # open_render_blocks instead and never do this).
+                trace = concat_blocks(
+                    traceio.load_trace(
+                        str(self.root / "traces" / entry["name"]))
+                    for entry in meta["parts"])
+            else:
+                trace = traceio.load_trace(str(path))
             submitted = int(meta["n_triangles_submitted"])
             rasterized = int(meta["n_triangles_rasterized"])
         except (ValueError, OSError, KeyError, TypeError) as fault:
@@ -467,6 +535,32 @@ class ArtifactStore:
             })
         self._guarded_write(publish)
         return path
+
+    # -- chunked (streaming) traces --------------------------------------
+
+    def open_render_writer(self, spec: TraceSpec) -> "ChunkedRenderWriter":
+        """A :class:`ChunkedRenderWriter` that persists ``spec``'s
+        render one :class:`~repro.pipeline.trace.FragmentBlock` at a
+        time; peak store-side memory is one block."""
+        return ChunkedRenderWriter(self, spec)
+
+    def open_render_blocks(self, spec: TraceSpec):
+        """A :class:`ChunkedRenderReader` over ``spec``'s chunked trace
+        parts, or ``None`` when the store holds no chunked
+        representation (monolithic artifact, miss, or damage -- damage
+        is quarantined exactly as :meth:`load_render` would).
+
+        Every part's integrity envelope is verified up front (constant
+        memory); parts then deserialize lazily, one block per
+        :meth:`ChunkedRenderReader.read_part`."""
+        digest = fingerprint(spec.payload())
+        checked = self._open_verified("traces", digest, ".npz")
+        if checked is None:
+            return None
+        _, meta = checked
+        if not isinstance(meta.get("parts"), list):
+            return None
+        return ChunkedRenderReader(self, meta)
 
     # -- byte-address streams --------------------------------------------
 
@@ -570,12 +664,14 @@ class ArtifactStore:
     # -- maintenance -----------------------------------------------------
 
     def _scan_kind(self, kind: str):
-        """``(payloads, sidecar_stems, tmp_names)`` for one kind,
-        tolerant of files vanishing mid-scan (concurrent ``clear()``)."""
-        payloads, sidecars, tmp = {}, set(), []
+        """``(payloads, sidecar_stems, tmp_names, parts)`` for one
+        kind, tolerant of files vanishing mid-scan (concurrent
+        ``clear()``).  ``parts`` maps each digest to its chunked part
+        files on disk (listed or not by any sidecar)."""
+        payloads, sidecars, tmp, parts = {}, set(), [], {}
         directory = self.root / kind
         if not directory.is_dir():
-            return payloads, sidecars, tmp
+            return payloads, sidecars, tmp, parts
         for entry in sorted(directory.glob("*")):
             try:
                 if not entry.is_file():
@@ -583,41 +679,59 @@ class ArtifactStore:
                 entry.stat()
             except OSError:
                 continue  # deleted between glob and stat: skip
+            match = _PART_STEM.match(entry.stem)
             if ".tmp" in entry.name:
                 tmp.append(entry.name)
+            elif match is not None and entry.suffix == ".npz":
+                parts.setdefault(match.group(1), []).append(entry)
             elif entry.suffix == ".json":
                 sidecars.add(entry.stem)
             else:
                 payloads[entry.stem] = entry
-        return payloads, sidecars, tmp
+        return payloads, sidecars, tmp, parts
 
     def stats(self) -> dict:
-        """Per-kind artifact counts and byte totals, plus orphaned
-        ``*.tmp*`` litter and quarantined-file counts."""
+        """Per-kind artifact counts and byte totals -- chunked trace
+        parts reported separately -- plus orphaned ``*.tmp*`` litter,
+        orphaned part files (parts no sidecar lists, counted as
+        litter) and quarantined-file counts."""
         report = {"root": str(self.root), "kinds": {}, "total_bytes": 0,
                   "total_files": 0, "tmp_files": 0,
+                  "part_files": 0, "part_bytes": 0, "orphaned_parts": 0,
                   "quarantined": self._count_quarantined()}
         for kind in KINDS:
-            files = nbytes = tmp = 0
-            directory = self.root / kind
-            if directory.is_dir():
-                for entry in directory.glob("*"):
+            payloads, sidecars, tmp_names, parts = self._scan_kind(kind)
+            files = nbytes = 0
+            for entry in list(payloads.values()) + [
+                    self._path(kind, stem, ".json") for stem in sidecars]:
+                try:
+                    size = entry.stat().st_size
+                except OSError:
+                    continue  # vanished between glob and stat
+                files += 1
+                nbytes += size
+            part_files = part_bytes = orphaned = 0
+            for digest, entries in parts.items():
+                listed = self._listed_part_names(kind, digest)
+                for part in entries:
                     try:
-                        if not entry.is_file():
-                            continue
-                        size = entry.stat().st_size
+                        size = part.stat().st_size
                     except OSError:
-                        continue  # vanished between glob and stat
-                    if ".tmp" in entry.name:
-                        tmp += 1
                         continue
-                    files += 1
-                    nbytes += size
-            report["kinds"][kind] = {"files": files, "bytes": nbytes,
-                                     "tmp": tmp}
-            report["total_files"] += files
-            report["total_bytes"] += nbytes
-            report["tmp_files"] += tmp
+                    part_files += 1
+                    part_bytes += size
+                    if listed is None or part.name not in listed:
+                        orphaned += 1
+            report["kinds"][kind] = {
+                "files": files, "bytes": nbytes, "tmp": len(tmp_names),
+                "parts": part_files, "part_bytes": part_bytes,
+                "orphaned_parts": orphaned}
+            report["total_files"] += files + part_files
+            report["total_bytes"] += nbytes + part_bytes
+            report["tmp_files"] += len(tmp_names)
+            report["part_files"] += part_files
+            report["part_bytes"] += part_bytes
+            report["orphaned_parts"] += orphaned
         return report
 
     def _count_quarantined(self) -> int:
@@ -637,48 +751,57 @@ class ArtifactStore:
         """Scan every artifact's integrity envelope without modifying
         anything.  ``bad`` lists verifiable damage; ``pending`` counts
         in-flight (younger than the grace window) torn states; ``tmp``
-        lists temp-file litter."""
+        lists temp-file litter; ``orphaned_parts`` lists stale part
+        files no sidecar claims (litter, not corruption -- a streaming
+        writer died before publishing its sidecar)."""
         report = {"root": str(self.root), "kinds": {},
-                  "ok": 0, "bad": 0, "pending": 0, "tmp": 0}
+                  "ok": 0, "bad": 0, "pending": 0, "tmp": 0,
+                  "orphaned_parts": 0}
         for kind in KINDS:
-            entry = {"ok": 0, "bad": [], "pending": 0, "tmp": []}
-            payloads, sidecars, entry["tmp"] = self._scan_kind(kind)
-            for stem, path in payloads.items():
+            payloads, sidecars, tmp_names, parts = self._scan_kind(kind)
+            entry = {"ok": 0, "bad": [], "pending": 0, "tmp": tmp_names,
+                     "orphaned_parts": []}
+            for stem in sorted(set(payloads) | sidecars):
+                path = payloads.get(stem, self._path(kind, stem, ".npz"))
                 sidecar = self._path(kind, stem, ".json")
                 try:
                     self._verify_envelope(kind, path, sidecar)
                 except CorruptArtifact as fault:
-                    if fault.transient and not _is_stale(path):
+                    survivor = path if path.exists() else sidecar
+                    if fault.transient and not _is_stale(survivor):
                         entry["pending"] += 1
                     else:
-                        entry["bad"].append({"file": path.name,
+                        name = path.name if stem in payloads else sidecar.name
+                        entry["bad"].append({"file": name,
                                              "reason": str(fault)})
                 else:
                     entry["ok"] += 1
-                sidecars.discard(stem)
-            for stem in sorted(sidecars):
-                sidecar = self._path(kind, stem, ".json")
-                if not _is_stale(sidecar):
-                    entry["pending"] += 1
-                else:
-                    entry["bad"].append({
-                        "file": sidecar.name,
-                        "reason": "orphaned sidecar (payload missing)"})
+            for digest in sorted(parts):
+                listed = self._listed_part_names(kind, digest) or set()
+                for part in parts[digest]:
+                    if part.name in listed:
+                        continue  # accounted for by its artifact above
+                    if not _is_stale(part):
+                        entry["pending"] += 1
+                    else:
+                        entry["orphaned_parts"].append(part.name)
             report["kinds"][kind] = entry
             report["ok"] += entry["ok"]
             report["bad"] += len(entry["bad"])
             report["pending"] += entry["pending"]
             report["tmp"] += len(entry["tmp"])
+            report["orphaned_parts"] += len(entry["orphaned_parts"])
         report["clean"] = report["bad"] == 0
         return report
 
     def repair(self) -> dict:
         """Self-heal the store: quarantine every artifact that fails
-        verification and purge stale ``*.tmp*`` litter left by killed
+        verification, purge stale ``*.tmp*`` litter left by killed
+        writers and stale orphaned part files left by killed streaming
         writers.  In-flight writes (within the grace window) are left
         alone."""
         scan = self.verify()
-        quarantined, purged = [], []
+        quarantined, purged, purged_parts = [], [], []
         for kind, entry in scan["kinds"].items():
             for problem in entry["bad"]:
                 digest = problem["file"].split(".", 1)[0]
@@ -693,8 +816,15 @@ class ArtifactStore:
                 except OSError:
                     continue
                 purged.append(f"{kind}/{name}")
+            for name in entry["orphaned_parts"]:
+                # verify() already held these to the staleness window.
+                try:
+                    (self.root / kind / name).unlink()
+                except OSError:
+                    continue
+                purged_parts.append(f"{kind}/{name}")
         return {"root": str(self.root), "quarantined": quarantined,
-                "purged_tmp": purged}
+                "purged_tmp": purged, "purged_parts": purged_parts}
 
     def clear(self) -> dict:
         """Delete every artifact (including quarantine, locks and temp
@@ -703,3 +833,140 @@ class ArtifactStore:
         for kind in KINDS + (QUARANTINE_DIR, LOCKS_DIR):
             shutil.rmtree(self.root / kind, ignore_errors=True)
         return report
+
+
+class ChunkedRenderWriter:
+    """Stream a render into the store as checksummed part files.
+
+    Feed :meth:`append` each :class:`~repro.pipeline.trace.FragmentBlock`
+    as it is produced, then :meth:`finish` with the render counters;
+    only then is the sidecar -- the thing that makes the parts an
+    artifact -- published.  A writer killed mid-stream leaves orphaned
+    parts, which read as a plain miss and are purged by
+    :meth:`ArtifactStore.repair` once stale.  On a demoted store every
+    method is a no-op and :meth:`finish` returns ``False``; if any
+    single part fails to publish, the sidecar is withheld so a partial
+    trace can never verify as complete.
+    """
+
+    def __init__(self, store: ArtifactStore, spec: TraceSpec):
+        self._store = store
+        self._payload = spec.payload()
+        self._digest = fingerprint(self._payload)
+        self._parts = []
+        self._n_accesses = 0
+        self._n_fragments = 0
+        self._has_positions = False
+        self._complete = True
+        self._finished = False
+
+    def append(self, block) -> None:
+        """Atomically publish one block as the next part file."""
+        if self._finished:
+            raise StoreError("ChunkedRenderWriter already finished")
+        store = self._store
+        index = len(self._parts)
+        path = store._path(
+            "traces", self._digest,
+            f".p{index:0{traceio.PART_DIGITS}d}.npz")
+
+        def publish():
+            _atomic_write(path, lambda temp: traceio.save_trace(temp, block))
+        if not store._guarded_write(publish):
+            self._complete = False
+            return
+        try:
+            envelope = {
+                "name": path.name,
+                "digest": _file_digest(path),
+                "nbytes": path.stat().st_size,
+                "n_accesses": int(block.n_accesses),
+                "n_fragments": int(block.n_fragments),
+            }
+        except OSError:
+            self._complete = False
+            return
+        self._parts.append(envelope)
+        self._n_accesses += int(block.n_accesses)
+        self._n_fragments += int(block.n_fragments)
+        self._has_positions = bool(block.has_positions)
+
+    def finish(self, counters: dict) -> bool:
+        """Publish the sidecar listing every part.  ``counters`` must
+        carry ``n_triangles_submitted``/``n_triangles_rasterized`` (the
+        ``totals`` dict filled by
+        :func:`~repro.pipeline.renderer.render_trace_blocks` works).
+        Returns whether the artifact is now complete on disk."""
+        if self._finished:
+            raise StoreError("ChunkedRenderWriter already finished")
+        self._finished = True
+        if not self._complete or self._store._demoted:
+            return False
+        meta = {
+            "key": self._payload,
+            "parts": self._parts,
+            "n_parts": len(self._parts),
+            "n_accesses": self._n_accesses,
+            "n_fragments": self._n_fragments,
+            "has_positions": self._has_positions,
+            "n_triangles_submitted": int(counters["n_triangles_submitted"]),
+            "n_triangles_rasterized": int(counters["n_triangles_rasterized"]),
+        }
+
+        def publish():
+            _atomic_write(
+                self._store._path("traces", self._digest, ".json"),
+                lambda temp: Path(temp).write_text(json.dumps(meta, indent=1)))
+        return self._store._guarded_write(publish)
+
+
+class ChunkedRenderReader:
+    """Iterate a chunked trace artifact one
+    :class:`~repro.pipeline.trace.FragmentBlock` at a time.
+
+    Obtained from :meth:`ArtifactStore.open_render_blocks`, which has
+    already verified every part's integrity envelope; reading holds
+    one part in memory.  Carries the render counters the monolithic
+    sidecar would."""
+
+    def __init__(self, store: ArtifactStore, meta: dict):
+        self._root = store.root
+        self.meta = meta
+        self.parts = meta["parts"]
+
+    @property
+    def n_parts(self) -> int:
+        return len(self.parts)
+
+    @property
+    def n_accesses(self) -> int:
+        return int(self.meta["n_accesses"])
+
+    @property
+    def n_fragments(self) -> int:
+        return int(self.meta["n_fragments"])
+
+    @property
+    def n_triangles_submitted(self) -> int:
+        return int(self.meta["n_triangles_submitted"])
+
+    @property
+    def n_triangles_rasterized(self) -> int:
+        return int(self.meta["n_triangles_rasterized"])
+
+    def read_part(self, index: int) -> FragmentBlock:
+        trace = traceio.load_trace(
+            str(self._root / "traces" / self.parts[index]["name"]))
+        return FragmentBlock(
+            texture_id=trace.texture_id, level=trace.level,
+            tu=trace.tu, tv=trace.tv,
+            tu_raw=trace.tu_raw, tv_raw=trace.tv_raw,
+            kind=trace.kind, n_fragments=trace.n_fragments,
+            x=trace.x, y=trace.y, index=index)
+
+    def __iter__(self):
+        for index in range(self.n_parts):
+            yield self.read_part(index)
+
+    def __len__(self) -> int:
+        return self.n_parts

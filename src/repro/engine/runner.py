@@ -161,6 +161,7 @@ class Engine:
         self._renders = {}
         self._placements = {}
         self._streams = {}
+        self._streamed = {}
 
     # -- scene construction (cheap, never persisted) ---------------------
 
@@ -254,10 +255,26 @@ class Engine:
                 addresses, store=self.store, key_payload=payload)
         return self._streams[key]
 
+    def streamed(self, trace_spec: TraceSpec, layout_spec,
+                 chunk_size: Optional[int] = None, shards: int = 0):
+        """Constant-memory :class:`~repro.engine.streaming.StreamedProfiles`
+        for (trace, layout), memoized.  Same profiles (bit for bit) as
+        :meth:`streams`, computed as a fold over bounded fragment
+        blocks instead of materialized arrays."""
+        from .streaming import DEFAULT_CHUNK_SIZE, StreamedProfiles
+        chunk = int(chunk_size) if chunk_size else DEFAULT_CHUNK_SIZE
+        key = (trace_spec, tuple(layout_spec), chunk, int(shards))
+        if key not in self._streamed:
+            self._streamed[key] = StreamedProfiles(
+                self.store, trace_spec, layout_spec,
+                chunk_size=chunk, shards=int(shards))
+        return self._streamed[key]
+
     # -- experiment execution --------------------------------------------
 
     def run(self, experiment: ExperimentSpec, workers: int = 0,
-            kernel: str = "vectorized") -> "ExperimentResult":
+            kernel: str = "vectorized", chunk_size: Optional[int] = None,
+            shards: int = 0) -> "ExperimentResult":
         """Execute every cell of ``experiment``.
 
         ``workers > 1`` warms the store's render/address/profile
@@ -269,8 +286,22 @@ class Engine:
         default reads every finite associativity off a store-backed
         per-set distance profile; ``"reference"`` runs the sequential
         :class:`~repro.core.cache.LRUCache` simulator.
+
+        ``chunk_size`` and/or ``shards > 1`` switch the profile stage
+        to the streaming fold (:mod:`repro.engine.streaming`): the
+        trace is never materialized, peak memory is bounded by the
+        chunk size independent of trace length, and ``shards`` fans
+        the fold over a process pool.  Streaming produces bit-identical
+        rows and requires the vectorized kernel (the reference
+        simulator needs the in-RAM stream).
         """
         check_kernel(kernel)
+        streaming = bool(chunk_size) or shards > 1
+        if streaming and kernel != "vectorized":
+            raise ValueError(
+                "streaming execution (chunk_size/shards) requires the "
+                "vectorized kernel; the reference simulator replays the "
+                "materialized stream")
         warm_report = None
         if workers and workers > 1:
             warm_report = self._warm_parallel(experiment, workers)
@@ -278,7 +309,15 @@ class Engine:
         rows = []
         for trace_spec in experiment.trace_specs():
             for layout_spec in experiment.layouts:
-                streams = self.streams(trace_spec, layout_spec)
+                if streaming:
+                    streams = self.streamed(trace_spec, layout_spec,
+                                            chunk_size=chunk_size,
+                                            shards=shards)
+                    # One pass over the blocks computes the whole
+                    # grid's profiles (instead of one pass per pair).
+                    streams.prefetch(_profile_pairs(experiment))
+                else:
+                    streams = self.streams(trace_spec, layout_spec)
                 for line_size in experiment.line_sizes:
                     for assoc in experiment.assocs:
                         rows.extend(self._sweep_sizes(
@@ -308,13 +347,18 @@ class Engine:
                     scene=trace_spec.scene, order=trace_spec.order,
                     layout=tuple(layout_spec), stats=stats))
         else:
-            stream = streams.stream(line_size)
+            # The vectorized path reads everything off per-set
+            # profiles; only the reference simulator materializes the
+            # line stream (which streaming profiles refuse to do).
+            stream = None
             for size in sorted(cache_sizes):
                 config = CacheConfig(int(size), line_size, assoc)
                 if kernel == "vectorized":
                     stats = streams.set_profile(
                         line_size, config.n_sets).stats_for(config)
                 else:
+                    if stream is None:
+                        stream = streams.stream(line_size)
                     stats = simulate(stream, config, kernel=kernel)
                 rows.append(ExperimentRow(
                     scene=trace_spec.scene, order=trace_spec.order,
@@ -372,6 +416,21 @@ class Engine:
                 report.fallbacks += 1
         report.errors = tuple(errors)
         return report
+
+
+def _profile_pairs(experiment: ExperimentSpec) -> set:
+    """Every ``(line_size, n_sets)`` profile the grid's vectorized
+    sweep will read -- the prefetch set for one streaming fold pass."""
+    pairs = set()
+    for line_size in experiment.line_sizes:
+        for assoc in experiment.assocs:
+            if assoc is None:
+                pairs.add((int(line_size), 1))
+            else:
+                for size in experiment.cache_sizes:
+                    config = CacheConfig(int(size), int(line_size), assoc)
+                    pairs.add((int(line_size), config.n_sets))
+    return pairs
 
 
 def _task_label(task) -> str:
@@ -462,9 +521,12 @@ def run_experiment(experiment: ExperimentSpec,
                    store: Optional[ArtifactStore] = None,
                    engine: Optional[Engine] = None,
                    workers: int = 0,
-                   kernel: str = "vectorized") -> ExperimentResult:
+                   kernel: str = "vectorized",
+                   chunk_size: Optional[int] = None,
+                   shards: int = 0) -> ExperimentResult:
     """Convenience wrapper: run ``experiment`` on ``engine`` (or a
     fresh one over ``store``)."""
     if engine is None:
         engine = Engine(store=store)
-    return engine.run(experiment, workers=workers, kernel=kernel)
+    return engine.run(experiment, workers=workers, kernel=kernel,
+                      chunk_size=chunk_size, shards=shards)

@@ -52,7 +52,7 @@ from ..texture.filtering import (
     generate_accesses,
     generate_accesses_aniso,
 )
-from .trace import TexelTrace, TraceBuilder
+from .trace import FragmentBlock, TexelTrace, TraceBuilder
 
 #: Selectable rasterization paths.
 RASTER_PATHS = ("batched", "reference")
@@ -154,9 +154,9 @@ class Renderer:
         self.use_mipmaps = use_mipmaps
         self.raster = check_raster(raster)
 
-    def render(self, scene) -> RenderResult:
-        """Render ``scene`` (a :class:`repro.scenes.base.SceneData`)."""
-        timers = _PhaseTimers()
+    def _prepare(self, scene, timers) -> tuple:
+        """The shared front half of a frame: lighting, clipping and
+        projection, in submission order."""
         timers.start()
         width, height = scene.width, scene.height
         mesh = scene.mesh
@@ -190,12 +190,19 @@ class Renderer:
         ndc_z = ndc_z.reshape(-1, 3)
         inv_w = inv_w.reshape(-1, 3)
         timers.stop("clip")
+        return mipmaps, clipped, texture_ids, screen, ndc_z, inv_w, \
+            colors is not None
 
+    def render(self, scene) -> RenderResult:
+        """Render ``scene`` (a :class:`repro.scenes.base.SceneData`)."""
+        timers = _PhaseTimers()
+        mipmaps, clipped, texture_ids, screen, ndc_z, inv_w, has_colors = \
+            self._prepare(scene, timers)
         rasterize = (self._render_batched if self.raster == "batched"
                      else self._render_reference)
         return rasterize(scene, mipmaps, clipped, texture_ids,
-                         screen, ndc_z, inv_w, colors is not None,
-                         width, height, timers)
+                         screen, ndc_z, inv_w, has_colors,
+                         scene.width, scene.height, timers)
 
     # -- per-triangle reference path -------------------------------------
 
@@ -403,9 +410,246 @@ class Renderer:
         framebuffer.write(fragments.x[winners], fragments.y[winners],
                           rgb[winners])
 
+    # -- streaming (block) path ------------------------------------------
+
+    def render_blocks(self, scene, chunk_size: int, totals: dict = None):
+        """Render ``scene`` as a stream of :class:`FragmentBlock`
+        chunks of at most ``chunk_size`` accesses each, cut at
+        fragment boundaries.
+
+        Bit-identity: every traversal order sorts the frame's stream
+        triangle-major (submission order is the most significant key),
+        and per-triangle rasterization setup and access generation are
+        elementwise, so rasterizing contiguous triangle ranges and
+        concatenating their ordered streams equals
+        :meth:`render`'s trace exactly -- the blocks are that stream,
+        partitioned.  Peak memory is bounded by the chunk size (plus
+        one triangle batch), never the frame.
+
+        Streaming skips the framebuffer (construct the renderer with
+        ``produce_image=False``); pass ``totals`` (a dict) to receive
+        the frame summary -- ``n_fragments``, ``n_triangles_submitted``,
+        ``n_triangles_rasterized``, ``per_triangle_fragments`` -- once
+        the generator is exhausted.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        if self.produce_image:
+            raise RuntimeError(
+                "streaming render does not produce an image; construct "
+                "the Renderer with produce_image=False")
+        timers = _PhaseTimers()
+        mipmaps, clipped, texture_ids, screen, ndc_z, inv_w, _ = \
+            self._prepare(scene, timers)
+        per_triangle = np.zeros(clipped.n_triangles, dtype=np.int64)
+        if self.raster == "batched":
+            chunks = self._batched_chunk_traces(
+                mipmaps, clipped, texture_ids, screen, ndc_z, inv_w,
+                scene.width, scene.height, chunk_size, per_triangle)
+        else:
+            chunks = self._reference_chunk_traces(
+                mipmaps, clipped, texture_ids, screen, ndc_z, inv_w,
+                scene.width, scene.height, per_triangle)
+        accumulator = _BlockAccumulator(chunk_size)
+        for trace, starts in chunks:
+            accumulator.add(trace, starts)
+            yield from accumulator.drain()
+        yield from accumulator.drain(final=True)
+        if totals is not None:
+            totals.update(
+                n_fragments=int(per_triangle.sum()),
+                n_triangles_submitted=scene.mesh.n_triangles,
+                n_triangles_rasterized=int((per_triangle > 0).sum()),
+                per_triangle_fragments=per_triangle,
+            )
+
+    def _batched_chunk_traces(self, mipmaps, clipped, texture_ids,
+                              screen, ndc_z, inv_w, width, height,
+                              chunk_size, per_triangle):
+        """Yield ``(chunk trace, fragment start indices)`` for
+        contiguous submission-order triangle ranges, sized adaptively
+        so each range generates roughly ``chunk_size`` accesses."""
+        uv = clipped.attrs[:, :, :2]
+        level0 = np.array([mipmap.level_shape(0) for mipmap in mipmaps],
+                          dtype=np.int64).reshape(-1, 2)
+        m = clipped.n_triangles
+        begin = 0
+        guess = 256
+        seen_triangles = 0
+        seen_accesses = 0
+        while begin < m:
+            end = min(m, begin + guess)
+            ids = texture_ids[begin:end]
+            fragments = rasterize_triangles(
+                screen[begin:end], ndc_z[begin:end], inv_w[begin:end],
+                uv[begin:end],
+                texel_w=level0[ids, 0], texel_h=level0[ids, 1],
+                width=width, height=height, colors=None, with_z=False,
+                with_derivatives=self.use_mipmaps and self.max_anisotropy > 1,
+            )
+            fragments = fragments.take(self.order.grouped_argsort(
+                fragments.x, fragments.y, fragments.triangle,
+                within_rowmajor=True))
+            if self.lod_bias:
+                fragments.lod = fragments.lod + self.lod_bias
+            per_triangle[begin:end] += np.bincount(
+                fragments.triangle, minlength=end - begin)
+            frag_texture = ids[fragments.triangle]
+            accesses = self._stream_accesses(fragments, frag_texture,
+                                             mipmaps, level0)
+            builder = TraceBuilder(record_positions=self.record_positions)
+            builder.append_stream(
+                frag_texture.astype(np.int16)[accesses.fragment_index],
+                accesses, n_fragments=fragments.n_fragments,
+                fragment_x=fragments.x, fragment_y=fragments.y)
+            trace = builder.build()
+            yield trace, _fragment_start_indices(accesses.fragment_index)
+            seen_triangles += end - begin
+            seen_accesses += trace.n_accesses
+            per_triangle_accesses = max(1.0, seen_accesses / seen_triangles)
+            guess = int(min(max(16, chunk_size / per_triangle_accesses),
+                            1 << 16))
+            begin = end
+
+    def _reference_chunk_traces(self, mipmaps, clipped, texture_ids,
+                                screen, ndc_z, inv_w, width, height,
+                                per_triangle):
+        """Per-triangle oracle twin of :meth:`_batched_chunk_traces`."""
+        for index in range(clipped.n_triangles):
+            texture_id = int(texture_ids[index])
+            mipmap = mipmaps[texture_id]
+            uv = clipped.attrs[index, :, :2]
+            batch = rasterize_triangle(
+                screen[index], ndc_z[index], inv_w[index], uv,
+                texture_size=mipmap.level_shape(0),
+                width=width, height=height, colors=None,
+            )
+            if batch is None or batch.n_fragments == 0:
+                continue
+            per_triangle[index] = batch.n_fragments
+            batch = batch.reordered(self.order.argsort(batch.x, batch.y))
+            if self.lod_bias:
+                batch.lod = batch.lod + self.lod_bias
+            accesses = self._triangle_accesses(batch, mipmap)
+            builder = TraceBuilder(record_positions=self.record_positions)
+            if self.record_positions:
+                builder.append(texture_id, accesses, batch.n_fragments,
+                               fragment_x=batch.x, fragment_y=batch.y)
+            else:
+                builder.append(texture_id, accesses, batch.n_fragments)
+            yield builder.build(), _fragment_start_indices(
+                accesses.fragment_index)
+
+
+def _fragment_start_indices(fragment_index: np.ndarray) -> np.ndarray:
+    """Access indices where a new fragment begins, from the generator's
+    per-access fragment map (exact under anisotropy, unlike the
+    kind-column recovery in :func:`repro.pipeline.trace.count_fragments`)."""
+    if len(fragment_index) == 0:
+        return np.empty(0, dtype=np.int64)
+    change = np.empty(len(fragment_index), dtype=bool)
+    change[0] = True
+    np.not_equal(fragment_index[1:], fragment_index[:-1], out=change[1:])
+    return np.flatnonzero(change).astype(np.int64)
+
+
+class _BlockAccumulator:
+    """Re-chunks triangle-sized trace pieces into fixed-size
+    :class:`FragmentBlock` chunks, cutting only at fragment boundaries.
+
+    Pieces always end on a fragment boundary (fragments never span
+    triangles), so every pending fragment is complete and the pending
+    buffer never holds more than one emitted block plus one piece.
+    """
+
+    def __init__(self, chunk_size: int):
+        self.chunk_size = chunk_size
+        self.pending = None          # TexelTrace-shaped buffer
+        self.starts = np.empty(0, dtype=np.int64)
+        self.index = 0
+
+    def add(self, trace: TexelTrace, starts: np.ndarray) -> None:
+        if trace.n_accesses == 0:
+            return
+        if self.pending is None:
+            self.pending = trace
+            self.starts = starts
+            return
+        offset = self.pending.n_accesses
+        merged = {}
+        for column in ("texture_id", "level", "tu", "tv",
+                       "tu_raw", "tv_raw", "kind", "x", "y"):
+            left = getattr(self.pending, column)
+            if left is None:
+                merged[column] = None
+            else:
+                merged[column] = np.concatenate(
+                    [left, getattr(trace, column)])
+        self.pending = TexelTrace(
+            n_fragments=self.pending.n_fragments + trace.n_fragments,
+            **merged)
+        self.starts = np.concatenate([self.starts, starts + offset])
+
+    def drain(self, final: bool = False):
+        while self.pending is not None:
+            n = self.pending.n_accesses
+            if n == 0:
+                self.pending = None
+                break
+            if n < self.chunk_size and not final:
+                break
+            if final and n <= self.chunk_size:
+                cut = n
+            else:
+                # Largest fragment boundary at or below the chunk size;
+                # a single oversized fragment advances to the next
+                # boundary (or the end) so progress is guaranteed.
+                position = int(np.searchsorted(
+                    self.starts, self.chunk_size, side="right")) - 1
+                cut = int(self.starts[position])
+                if cut == 0:
+                    cut = int(self.starts[position + 1]) \
+                        if position + 1 < len(self.starts) else n
+            n_fragments = int(np.searchsorted(self.starts, cut, side="left"))
+            piece = self.pending
+            yield FragmentBlock(
+                texture_id=piece.texture_id[:cut],
+                level=piece.level[:cut],
+                tu=piece.tu[:cut], tv=piece.tv[:cut],
+                tu_raw=piece.tu_raw[:cut], tv_raw=piece.tv_raw[:cut],
+                kind=piece.kind[:cut], n_fragments=n_fragments,
+                x=None if piece.x is None else piece.x[:cut],
+                y=None if piece.y is None else piece.y[:cut],
+                index=self.index)
+            self.index += 1
+            if cut == n:
+                self.pending = None
+                self.starts = np.empty(0, dtype=np.int64)
+            else:
+                self.pending = TexelTrace(
+                    texture_id=piece.texture_id[cut:],
+                    level=piece.level[cut:],
+                    tu=piece.tu[cut:], tv=piece.tv[cut:],
+                    tu_raw=piece.tu_raw[cut:], tv_raw=piece.tv_raw[cut:],
+                    kind=piece.kind[cut:],
+                    n_fragments=piece.n_fragments - n_fragments,
+                    x=None if piece.x is None else piece.x[cut:],
+                    y=None if piece.y is None else piece.y[cut:])
+                self.starts = self.starts[n_fragments:] - cut
+
 
 def render_trace(scene, order: TraversalOrder = None,
                  raster: str = "batched") -> RenderResult:
     """Convenience: render ``scene`` for tracing only (no image)."""
     return Renderer(order=order, produce_image=False,
                     raster=raster).render(scene)
+
+
+def render_trace_blocks(scene, chunk_size: int, order: TraversalOrder = None,
+                        raster: str = "batched", totals: dict = None,
+                        **renderer_kwargs):
+    """Convenience: stream ``scene``'s trace as
+    :class:`FragmentBlock` chunks (no image)."""
+    renderer = Renderer(order=order, produce_image=False, raster=raster,
+                        **renderer_kwargs)
+    return renderer.render_blocks(scene, chunk_size, totals=totals)

@@ -22,6 +22,44 @@ from ..texture.filtering import KIND_BILINEAR, KIND_LOWER, KIND_UPPER, TexelAcce
 from ..texture.memory import AddressMapper
 
 
+def count_fragments(kind: np.ndarray, start: int = 0,
+                    stop: Optional[int] = None) -> int:
+    """Fragments with at least one access in ``kind[start:stop)``.
+
+    Every filter probe emits an aligned quad of four same-kind
+    accesses -- a bilinear quad, or a lower quad followed by its upper
+    quad -- so a frame's kind column is a sequence of 4-aligned quads
+    and a fragment begins at every quad whose kind is not
+    :data:`KIND_UPPER`.  The count is exact for traces built by the
+    pipeline (quad-aligned from index 0) with isotropic filtering; an
+    anisotropic fragment spans several probes, each of which counts
+    once (an upper bound on fragments).
+    """
+    n = len(kind)
+    if stop is None:
+        stop = n
+    start = max(0, min(int(start), n))
+    stop = max(start, min(int(stop), n))
+    if stop == start:
+        return 0
+    first_quad = start // 4
+    last_quad = (stop - 1) // 4
+    quad_kinds = kind[first_quad * 4:last_quad * 4 + 1:4]
+    covered = int(np.count_nonzero(quad_kinds != KIND_UPPER))
+    if quad_kinds[0] == KIND_UPPER:
+        # The slice opens inside a trilinear fragment whose lower quad
+        # precedes it; that fragment is covered too.
+        covered += 1
+    return covered
+
+
+def fragment_starts(kind: np.ndarray) -> np.ndarray:
+    """Access indices where a new fragment (or anisotropic probe)
+    begins; see :func:`count_fragments` for the quad structure."""
+    quad_kinds = kind[::4]
+    return np.flatnonzero(quad_kinds != KIND_UPPER).astype(np.int64) * 4
+
+
 @dataclass
 class TexelTrace:
     """A frame's complete texel access stream, in access order.
@@ -78,13 +116,14 @@ class TexelTrace:
         return load_trace(path)
 
     def slice(self, start: int, stop: int) -> "TexelTrace":
-        """A sub-trace of accesses ``[start, stop)`` (used by tests).
+        """A sub-trace of accesses ``[start, stop)``.
 
-        ``n_fragments`` is carried over *unscaled*: the trace does not
-        record fragment boundaries, so the slice cannot know how many
-        fragments its accesses span.  Treat the field as the frame
-        total, not a per-slice count; :meth:`subset` accepts an
-        explicit ``n_fragments`` when the caller knows better.
+        ``n_fragments`` reports the fragments actually covered by the
+        slice -- those with at least one access inside it -- recovered
+        from the kind column's quad structure
+        (:func:`count_fragments`), so slicing a frame into pieces
+        yields per-piece counts that sum to the frame total whenever
+        the cuts land on fragment boundaries.
         """
         return TexelTrace(
             texture_id=self.texture_id[start:stop],
@@ -94,7 +133,7 @@ class TexelTrace:
             tu_raw=self.tu_raw[start:stop],
             tv_raw=self.tv_raw[start:stop],
             kind=self.kind[start:stop],
-            n_fragments=self.n_fragments,
+            n_fragments=count_fragments(self.kind, start, stop),
             x=None if self.x is None else self.x[start:stop],
             y=None if self.y is None else self.y[start:stop],
         )
@@ -115,6 +154,85 @@ class TexelTrace:
             x=None if self.x is None else self.x[mask],
             y=None if self.y is None else self.y[mask],
         )
+
+
+@dataclass
+class FragmentBlock(TexelTrace):
+    """One bounded chunk of a frame's access stream: the streaming
+    pipeline's unit of flow.
+
+    Same columns and semantics as :class:`TexelTrace`, plus a sequence
+    ``index`` within the frame.  Blocks are cut at fragment
+    boundaries, so ``n_fragments`` counts the fragments fully
+    contained in the block, block counts sum to the frame total, and
+    concatenating a frame's blocks in index order reproduces the
+    in-RAM trace bit-identically (:func:`concat_blocks`).
+    """
+
+    index: int = 0
+
+
+def concat_blocks(blocks) -> TexelTrace:
+    """Concatenate an iterable of blocks (or traces) back into one
+    in-RAM :class:`TexelTrace`; the inverse of block streaming."""
+    blocks = list(blocks)
+    builder = TraceBuilder()
+    if not blocks:
+        return builder.build()
+    has_positions = blocks[0].has_positions
+
+    def merged(column):
+        parts = [getattr(block, column) for block in blocks]
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    return TexelTrace(
+        texture_id=merged("texture_id"),
+        level=merged("level"),
+        tu=merged("tu"),
+        tv=merged("tv"),
+        tu_raw=merged("tu_raw"),
+        tv_raw=merged("tv_raw"),
+        kind=merged("kind"),
+        n_fragments=sum(block.n_fragments for block in blocks),
+        x=merged("x") if has_positions else None,
+        y=merged("y") if has_positions else None,
+    )
+
+
+def iter_blocks(trace: TexelTrace, chunk_size: int):
+    """Stream an in-RAM (or memory-mapped) trace as
+    :class:`FragmentBlock` chunks of at most ``chunk_size`` accesses,
+    cut at fragment boundaries (a block only exceeds ``chunk_size``
+    when a single fragment does).
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    n = trace.n_accesses
+    if n == 0:
+        return
+    starts = fragment_starts(trace.kind)
+    begin = 0
+    index = 0
+    while begin < n:
+        target = begin + chunk_size
+        if target >= n:
+            end = n
+        else:
+            # Largest fragment boundary in (begin, target]; fall
+            # forward to the next one if a single fragment overflows
+            # the chunk.
+            cut = int(np.searchsorted(starts, target, side="right")) - 1
+            end = int(starts[cut]) if starts[cut] > begin else (
+                int(starts[cut + 1]) if cut + 1 < len(starts) else n)
+        piece = trace.slice(begin, end)
+        yield FragmentBlock(
+            texture_id=piece.texture_id, level=piece.level,
+            tu=piece.tu, tv=piece.tv,
+            tu_raw=piece.tu_raw, tv_raw=piece.tv_raw,
+            kind=piece.kind, n_fragments=piece.n_fragments,
+            x=piece.x, y=piece.y, index=index)
+        index += 1
+        begin = end
 
 
 class TraceBuilder:
@@ -224,9 +342,14 @@ class TraceBuilder:
 
 
 __all__ = [
+    "FragmentBlock",
     "TexelTrace",
     "TraceBuilder",
     "KIND_BILINEAR",
     "KIND_LOWER",
     "KIND_UPPER",
+    "concat_blocks",
+    "count_fragments",
+    "fragment_starts",
+    "iter_blocks",
 ]

@@ -206,6 +206,7 @@ class TestStoreEdgeCases:
         assert store.stats()["total_files"] == 0
         assert store.verify()["clean"]
         assert store.repair() == {"root": str(store.root),
-                                  "quarantined": [], "purged_tmp": []}
+                                  "quarantined": [], "purged_tmp": [],
+                                  "purged_parts": []}
         cleared = store.clear()
         assert cleared["total_files"] == 0
