@@ -18,7 +18,7 @@ from paperbench import emit, kb, scaled_cache
 
 from repro.analysis import format_table
 from repro.core import CacheConfig
-from repro.core.cache import simulate_sequence
+from repro.core.kernels import sequence_stats
 
 SCENES = ("goblet", "town")
 LINE = 64
@@ -29,17 +29,20 @@ FRAME_DT = 1.0 / 30.0
 def measure(bank):
     results = {}
     for name in SCENES:
-        placements = bank.placements(name, LAYOUT)
         order = bank.paper_order_spec(name)
-        frame0 = bank.trace(name, order)
-        frame1 = bank.trace(name, order, time=FRAME_DT)
-        segments = [frame0.byte_addresses(placements),
-                    frame1.byte_addresses(placements)]
-        texture_bytes = sum(p.total_nbytes for p in placements)
+        # Each frame streams through bounded fragment blocks; only its
+        # collapsed line runs are retained (never the full trace or
+        # byte-address array), bit-identical to the materialized path.
+        segments = [
+            bank.streamed(name, order, LAYOUT, time=t).collapsed_runs(LINE)
+            for t in (0.0, FRAME_DT)
+        ]
+        texture_bytes = sum(p.total_nbytes
+                            for p in bank.placements(name, LAYOUT))
         for size in (scaled_cache(32 * 1024), 1 << (texture_bytes - 1).bit_length()):
             config = CacheConfig(size, LINE, None)
-            warm = simulate_sequence(segments, config)
-            cold = simulate_sequence(segments[1:], config)
+            warm = sequence_stats(segments, config)
+            cold = sequence_stats(segments[1:], config)
             results[(name, size)] = (warm[1], cold[0])
     return results
 

@@ -115,7 +115,7 @@ def _add_streaming_arguments(parser):
 
 def _streaming_requested(args) -> bool:
     return bool(getattr(args, "chunk_size", None)) or \
-        getattr(args, "shards", 0) > 1
+        getattr(args, "shards", 0) > 0
 
 
 def _order_spec(args, scene_name: str) -> tuple:
@@ -314,6 +314,73 @@ def _hierarchy(args) -> int:
     return 0
 
 
+def _csv_ints(text):
+    return [int(field) for field in text.split(",") if field]
+
+
+def _timing(args) -> int:
+    from .core.dram import PAPER_DRAM
+    from .core.machine import PAPER_MACHINE
+    from .core.texcache import (
+        fragment_fill_streams,
+        simulate_texcache,
+        sweep_texcache,
+    )
+
+    engine = Engine()
+    spec = _trace_spec(args)
+    layout_spec = _layout_spec(args, cache_size=args.cache_size)
+    config = CacheConfig(args.cache_size, args.line_size,
+                         None if args.assoc == 0 else args.assoc)
+    addresses = engine.addresses(spec, layout_spec)
+    dram = PAPER_DRAM if args.dram_services else None
+    counts, services = fragment_fill_streams(addresses, config, dram=dram,
+                                             kernel=args.kernel)
+    params = PAPER_MACHINE.texcache_params(
+        args.line_size, fragment_fifo=args.fragment_fifo,
+        request_fifo=args.request_fifo, reorder_buffer=args.reorder_buffer)
+    service_note = "page-mode DRAM" if dram is not None else \
+        f"uniform {params.fill_interval}-cycle"
+    print(f"{args.scene} / {layout_from_spec(layout_spec).name} / "
+          f"{config.label()}: {len(counts):,} fragments, "
+          f"{int(counts.sum()):,} line fills ({service_note} services)")
+    if args.depths or args.latencies:
+        depths = _csv_ints(args.depths) if args.depths \
+            else [params.fragment_fifo]
+        latencies = _csv_ints(args.latencies) if args.latencies \
+            else [params.fill_latency]
+        results = sweep_texcache(counts, params, depths, latencies,
+                                 services=services, kernel=args.kernel)
+        rows = [[depth, latency,
+                 f"{cell.total_cycles:,}",
+                 f"{cell.stall_cycles:,}",
+                 f"{cell.fragments_per_second / 1e6:.1f}M",
+                 f"{100 * cell.efficiency:.1f}%"]
+                for (depth, latency), cell in results.items()]
+        print(format_table(
+            ["frag FIFO", "latency", "total cycles", "stall cycles",
+             "frag/s", "efficiency"], rows,
+            title="Latency tolerance (Igehy et al. 1998 three-queue "
+                  "model):"))
+    else:
+        result = simulate_texcache(counts, params, services=services,
+                                   kernel=args.kernel)
+        print(f"  fragment FIFO   {params.fragment_fifo} entries "
+              f"(avg occupancy {result.avg_fragment_fifo:.1f})")
+        print(f"  request FIFO    {params.request_fifo} entries "
+              f"(avg occupancy {result.avg_request_fifo:.1f})")
+        print(f"  reorder buffer  {params.reorder_buffer} slots "
+              f"(avg occupancy {result.avg_reorder_buffer:.1f})")
+        print(f"  fill latency    {params.fill_latency} cycles")
+        print(f"  total cycles    {result.total_cycles:,} "
+              f"(ideal {result.ideal_cycles:,}, "
+              f"stall {result.stall_cycles:,})")
+        print(f"  fragment rate   {result.fragments_per_second / 1e6:.1f}M/s "
+              f"({100 * result.efficiency:.1f}% of the stall-free "
+              "pipeline)")
+    return 0
+
+
 def _cache(args) -> int:
     store = ArtifactStore(args.dir) if args.dir else ArtifactStore()
     if args.action == "stats":
@@ -468,6 +535,33 @@ def build_parser() -> argparse.ArgumentParser:
     hierarchy.add_argument("--line-size", type=int, default=128)
     _add_kernel_argument(hierarchy)
     hierarchy.set_defaults(func=_hierarchy)
+
+    timing = subparsers.add_parser(
+        "timing", help="cycle-level prefetching texture cache timing "
+                       "(Igehy et al. 1998 three-queue model)")
+    _add_scene_arguments(timing)
+    _add_layout_arguments(timing)
+    timing.add_argument("--cache-size", type=int, default=32 * 1024)
+    timing.add_argument("--line-size", type=int, default=64)
+    timing.add_argument("--assoc", type=int, default=2,
+                        help="ways per set; 0 = fully associative")
+    timing.add_argument("--fragment-fifo", type=int, default=32,
+                        help="fragment FIFO depth (0 = no prefetching)")
+    timing.add_argument("--request-fifo", type=int, default=None,
+                        help="pending line-fill bound (default: one "
+                             "fragment's worst case)")
+    timing.add_argument("--reorder-buffer", type=int, default=None,
+                        help="reorder-buffer line slots (default: one "
+                             "fragment's worst case)")
+    timing.add_argument("--depths", default=None, metavar="D1,D2,...",
+                        help="sweep these fragment-FIFO depths")
+    timing.add_argument("--latencies", default=None, metavar="L1,L2,...",
+                        help="sweep these fill latencies (cycles)")
+    timing.add_argument("--dram-services", action="store_true",
+                        help="per-fill page-mode DRAM service times "
+                             "instead of the uniform fill interval")
+    _add_kernel_argument(timing)
+    timing.set_defaults(func=_timing)
 
     cache = subparsers.add_parser(
         "cache", help="inspect, verify, repair or clear the shared "

@@ -11,6 +11,10 @@ latency-bound fragment rates.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .texcache import TexCacheParams
 
 
 @dataclass(frozen=True)
@@ -63,6 +67,30 @@ class MachineModel:
     def frame_texels(self, n_fragments: int) -> int:
         """Total texel fetches to texture ``n_fragments`` fragments."""
         return n_fragments * self.texels_per_fragment
+
+    def texcache_params(
+        self,
+        line_size: int,
+        fragment_fifo: int = 32,
+        request_fifo: Optional[int] = None,
+        reorder_buffer: Optional[int] = None,
+    ) -> "TexCacheParams":
+        """Three-queue timing parameters for :mod:`repro.core.texcache`.
+
+        Derives the cycle-level fragment FIFO / request FIFO / reorder
+        buffer model (Igehy et al. 1998) from this machine: fill latency
+        and service interval follow ``miss_latency_cycles`` and the DRAM
+        burst rate, fragment consumption follows ``cycles_per_fragment``.
+        """
+        from .texcache import TexCacheParams
+
+        return TexCacheParams.from_machine(
+            self,
+            line_size,
+            fragment_fifo=fragment_fifo,
+            request_fifo=request_fifo,
+            reorder_buffer=reorder_buffer,
+        )
 
 
 #: The paper's reference machine.

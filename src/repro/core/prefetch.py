@@ -21,6 +21,7 @@ which reaches the machine's peak once the FIFO is deep enough to cover
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -92,15 +93,34 @@ class PrefetchPipeline:
         Cycles between successive line-fill completions once the
         memory pipeline is streaming (bus occupancy per line); defaults
         to ``line_size / dram_bytes_per_cycle``.
+    kernel:
+        ``"vectorized"`` (default) resolves the fragment recurrences
+        with blocked running-max scans -- blocks of ``fifo_depth``
+        fragments, inside which the prefetch gate only references
+        earlier blocks; ``"reference"`` walks the original per-fragment
+        Python loop.  Identical timings for the integer-valued cycle
+        parameters the machine model produces.
     """
 
     def __init__(self, machine: MachineModel = PAPER_MACHINE,
-                 fifo_depth: int = 32, fill_interval: float = None):
+                 fifo_depth: int = 32,
+                 fill_interval: Optional[float] = None,
+                 kernel: str = "vectorized"):
+        kernels.check_kernel(kernel)
         if fifo_depth < 0:
             raise ValueError("fifo_depth must be >= 0")
         self.machine = machine
         self.fifo_depth = fifo_depth
         self.fill_interval = fill_interval
+        self.kernel = kernel
+
+    def _timing(self, line_size: int) -> tuple:
+        machine = self.machine
+        interval = self.fill_interval
+        if interval is None:
+            interval = line_size / machine.dram_bytes_per_cycle
+        return (float(machine.miss_latency_cycles(line_size)),
+                float(interval), float(machine.cycles_per_fragment))
 
     def run(self, miss_counts: np.ndarray, line_size: int) -> PrefetchResult:
         """Walk fragments through the two-stage pipeline.
@@ -108,12 +128,14 @@ class PrefetchPipeline:
         ``miss_counts[i]`` is the number of line fills fragment ``i``
         needs (from :func:`fragment_miss_counts`).
         """
+        if self.kernel == "vectorized":
+            return self._run_vectorized(miss_counts, line_size)
+        return self._run_reference(miss_counts, line_size)
+
+    def _run_reference(self, miss_counts: np.ndarray,
+                       line_size: int) -> PrefetchResult:
         machine = self.machine
-        latency = machine.miss_latency_cycles(line_size)
-        interval = self.fill_interval
-        if interval is None:
-            interval = line_size / machine.dram_bytes_per_cycle
-        consume = machine.cycles_per_fragment
+        latency, interval, consume = self._timing(line_size)
 
         # The prefetcher may issue fragment i's fills once the texture
         # stage has consumed fragment i - fifo_depth; fills stream
@@ -148,13 +170,87 @@ class PrefetchPipeline:
             machine=machine,
         )
 
+    def _run_vectorized(self, miss_counts: np.ndarray,
+                        line_size: int) -> PrefetchResult:
+        # Same recurrences as the reference walk, resolved per block of
+        # `fifo_depth` fragments: inside a block the prefetch gate
+        # finish[i - depth] only references earlier blocks, so the
+        # memory-channel chain (a running max over gate minus channel
+        # occupancy prefix) and the texture chain (a running max over
+        # ready-time minus consume offsets) each collapse into one
+        # np.maximum.accumulate.  Totals telescope: the per-fragment
+        # stall sum equals total minus n * consume exactly.
+        machine = self.machine
+        latency, interval, consume = self._timing(line_size)
+        counts = np.asarray(miss_counts, dtype=np.float64)
+        n = len(counts)
+        if n == 0:
+            return PrefetchResult(0, 0.0, 0.0, machine)
+        missing = counts > 0.0
+        if self.fifo_depth == 0:
+            if latency + consume < interval:
+                # Channel backpressure could outlive a fragment; only
+                # the sequential walk models that regime.
+                return self._run_reference(miss_counts, line_size)
+            # Without prefetch every fill waits on the texture stage
+            # itself, so each missing fragment exposes its full
+            # (misses - 1) * interval + latency fill time.
+            waits = np.where(missing, counts * interval - interval + latency, 0.0)
+            total = n * consume + float(waits.sum())
+            return PrefetchResult(n, total, total - n * consume, machine)
+
+        depth = self.fifo_depth
+        width = min(depth, n)
+        coff = np.arange(width, dtype=np.float64) * consume
+        miss_idx = np.flatnonzero(missing)
+        starts = list(range(0, n, width))
+        mp = np.searchsorted(miss_idx, starts + [n]).tolist()
+        occupancy = counts[miss_idx] * interval
+        cum = np.zeros(len(miss_idx) + 1)
+        np.cumsum(occupancy, out=cum[1:])
+        waits = occupancy - interval + latency
+        finish = np.empty(n)
+        memory_free = 0.0
+        texture_carry = 0.0
+        for k, s in enumerate(starts):
+            t = min(s + width, n)
+            w = t - s
+            p0, p1 = mp[k], mp[k + 1]
+            floor = np.full(w, -np.inf)
+            if p0 < p1:
+                cols = miss_idx[p0:p1] - s
+                so = cum[p0:p1] - cum[p0]
+                if s >= depth:
+                    y = finish[s - depth + cols] - so
+                else:
+                    y = -so
+                y[0] = max(y[0], memory_free)
+                np.maximum.accumulate(y, out=y)
+                start = y + so
+                memory_free = float(start[-1] + occupancy[p1 - 1])
+                floor[cols] = (start + waits[p0:p1]) - coff[cols]
+            floor[0] = max(floor[0], texture_carry)
+            np.maximum.accumulate(floor, out=floor)
+            np.add(floor, coff[:w], out=floor)
+            np.add(floor, consume, out=finish[s:t])
+            texture_carry = float(finish[t - 1])
+        total = texture_carry
+        return PrefetchResult(
+            n_fragments=n,
+            total_cycles=total,
+            stall_cycles=total - n * consume,
+            machine=machine,
+        )
+
 
 def sweep_fifo_depths(miss_counts: np.ndarray, line_size: int, depths,
                       machine: MachineModel = PAPER_MACHINE,
-                      fill_interval: float = None) -> dict:
+                      fill_interval: Optional[float] = None,
+                      kernel: str = "vectorized") -> dict:
     """Achieved fragment rate for each FIFO depth."""
     return {
         depth: PrefetchPipeline(machine, fifo_depth=depth,
-                                fill_interval=fill_interval).run(miss_counts, line_size)
+                                fill_interval=fill_interval,
+                                kernel=kernel).run(miss_counts, line_size)
         for depth in depths
     }

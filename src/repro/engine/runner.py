@@ -287,7 +287,7 @@ class Engine:
         per-set distance profile; ``"reference"`` runs the sequential
         :class:`~repro.core.cache.LRUCache` simulator.
 
-        ``chunk_size`` and/or ``shards > 1`` switch the profile stage
+        ``chunk_size`` and/or ``shards > 0`` switch the profile stage
         to the streaming fold (:mod:`repro.engine.streaming`): the
         trace is never materialized, peak memory is bounded by the
         chunk size independent of trace length, and ``shards`` fans
@@ -296,7 +296,10 @@ class Engine:
         simulator needs the in-RAM stream).
         """
         check_kernel(kernel)
-        streaming = bool(chunk_size) or shards > 1
+        # Any shard request counts as streaming (a single shard folds
+        # serially) so shards + reference fails loudly instead of
+        # silently running the non-streamed vectorized path.
+        streaming = bool(chunk_size) or shards > 0
         if streaming and kernel != "vectorized":
             raise ValueError(
                 "streaming execution (chunk_size/shards) requires the "

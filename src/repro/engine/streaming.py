@@ -35,7 +35,13 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.cache import CacheConfig, CacheStats, LineStream, to_lines
+from ..core.cache import (
+    CacheConfig,
+    CacheStats,
+    LineStream,
+    collapse_consecutive,
+    to_lines,
+)
 from ..core.classify import classify_misses
 from ..core.kernels import PartialSetProfile, SetDistanceProfile
 from ..core.stackdist import DistanceProfile
@@ -141,6 +147,35 @@ class StreamedProfiles:
         if key not in self._set_profiles:
             self.prefetch([key])
         return self._set_profiles[key]
+
+    def collapsed_runs(self, line_size: int) -> tuple:
+        """The whole trace's collapsed line runs, folded block by block.
+
+        Returns ``(run_lines, duplicate_hits)`` exactly equal to
+        :func:`~repro.core.cache.collapse_consecutive` over the
+        materialized line stream: each block collapses independently
+        and a run straddling two blocks is stitched back into one
+        (the dropped repeat is a guaranteed LRU hit, like any other
+        suppressed duplicate).  Peak memory is one block plus the runs
+        themselves -- no full trace or byte-address array is ever
+        built.  Feeds :func:`~repro.core.kernels.sequence_stats` for
+        multi-segment (e.g. inter-frame) simulations.
+        """
+        parts = []
+        total = 0
+        last = None
+        for block in self._blocks():
+            lines = to_lines(block.byte_addresses(self._placed()), line_size)
+            total += len(lines)
+            runs, _ = collapse_consecutive(lines)
+            if last is not None and len(runs) and runs[0] == last:
+                runs = runs[1:]
+            if len(runs):
+                last = int(runs[-1])
+                parts.append(runs)
+        run_lines = (np.concatenate(parts) if parts
+                     else np.empty(0, dtype=np.int64))
+        return run_lines, int(total - len(run_lines))
 
     # -- the fold ----------------------------------------------------------
 

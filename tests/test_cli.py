@@ -76,6 +76,16 @@ class TestSimulate:
             assert main(["simulate", "goblet", "--scale", "0.1",
                          "--layout", layout]) == 0
 
+    def test_shards_reject_reference_kernel(self, capsys):
+        # --shards (any count) requests streaming; the reference
+        # simulator cannot stream, so the CLI refuses instead of
+        # silently dropping the flag.
+        for args in (["simulate"], ["sweep", "--axis", "cache"]):
+            assert main([args[0], "goblet", "--scale", "0.1",
+                         *args[1:], "--shards", "1",
+                         "--kernel", "reference"]) == 2
+            assert "vectorized" in capsys.readouterr().err
+
 
 class TestSweep:
     def test_cache_axis(self, capsys):
@@ -112,6 +122,27 @@ class TestParallelAndHierarchy:
         out = capsys.readouterr().out
         assert "L1" in out and "L2" in out
         assert "memory miss rate" in out
+
+
+class TestTiming:
+    def test_single_config(self, capsys):
+        assert main(["timing", "goblet", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "fragment FIFO" in out
+        assert "total cycles" in out
+
+    def test_sweep_table(self, capsys):
+        assert main(["timing", "goblet", "--scale", "0.1",
+                     "--depths", "0,32", "--latencies", "10,100",
+                     "--dram-services"]) == 0
+        out = capsys.readouterr().out
+        assert "Latency tolerance" in out
+        assert "efficiency" in out
+
+    def test_reference_kernel(self, capsys):
+        assert main(["timing", "goblet", "--scale", "0.1",
+                     "--kernel", "reference"]) == 0
+        assert "total cycles" in capsys.readouterr().out
 
 
 class TestFilteringFlags:

@@ -83,3 +83,49 @@ class TestPrefetchPipeline:
     def test_validation(self):
         with pytest.raises(ValueError):
             PrefetchPipeline(MACHINE, fifo_depth=-1)
+        with pytest.raises(ValueError):
+            PrefetchPipeline(MACHINE, kernel="magic")
+
+
+class TestKernelEquivalence:
+    """The blocked-scan path must time every stream exactly like the
+    per-fragment reference loop (both use integer-valued float64
+    cycles for the machine model's parameters)."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_randomized_streams(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(0, 400))
+        counts = rng.integers(0, 4, size=n).astype(np.int64)
+        for depth in (0, 1, 3, 32, 500):
+            for line_size in (32, 128):
+                fast = PrefetchPipeline(MACHINE, fifo_depth=depth).run(
+                    counts, line_size)
+                slow = PrefetchPipeline(MACHINE, fifo_depth=depth,
+                                        kernel="reference").run(
+                    counts, line_size)
+                assert fast.total_cycles == slow.total_cycles, depth
+                assert fast.stall_cycles == slow.stall_cycles, depth
+                assert fast.n_fragments == slow.n_fragments
+
+    def test_depth_zero_backpressure_fallback(self):
+        # fill_interval > latency + consume: memory back-pressure can
+        # outlive a fragment, the regime where the depth-0 closed form
+        # does not apply and the vectorized path defers to the loop.
+        machine = MachineModel(miss_setup_cycles=0.0,
+                               dram_bytes_per_cycle=0.5)
+        counts = np.asarray([2, 2, 0, 1, 2], dtype=np.int64)
+        fast = PrefetchPipeline(machine, fifo_depth=0).run(counts, 64)
+        slow = PrefetchPipeline(machine, fifo_depth=0,
+                                kernel="reference").run(counts, 64)
+        assert fast.total_cycles == slow.total_cycles
+        assert fast.stall_cycles == slow.stall_cycles
+
+    def test_sweep_threads_kernel(self):
+        rng = np.random.default_rng(9)
+        counts = (rng.random(600) < 0.1).astype(np.int64)
+        fast = sweep_fifo_depths(counts, 128, [0, 2, 8], MACHINE)
+        slow = sweep_fifo_depths(counts, 128, [0, 2, 8], MACHINE,
+                                 kernel="reference")
+        for depth in (0, 2, 8):
+            assert fast[depth].total_cycles == slow[depth].total_cycles

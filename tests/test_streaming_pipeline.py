@@ -182,3 +182,39 @@ class TestEngineRunStreaming:
         with pytest.raises(ValueError):
             Engine(store=ArtifactStore(tmp_path / "a")).run(
                 exp, chunk_size=4096, kernel="reference")
+
+    def test_shards_reject_reference_kernel(self, tmp_path):
+        # Any shard count (even 1, which folds serially) requests
+        # streaming, so combining it with the reference simulator must
+        # fail loudly rather than silently running vectorized-only.
+        exp = ExperimentSpec(scenes=(SCENE,), layouts=(LAYOUT,), scale=SCALE)
+        engine = Engine(store=ArtifactStore(tmp_path / "a"))
+        for shards in (1, 2):
+            with pytest.raises(ValueError, match="vectorized"):
+                engine.run(exp, shards=shards, kernel="reference")
+
+    def test_collapsed_runs_match_materialized(self, tmp_path):
+        # Block-folded run collapse (with boundary stitching) must
+        # equal collapse_consecutive over the materialized stream.
+        from repro.core.cache import collapse_consecutive, to_lines
+
+        engine = Engine(store=ArtifactStore(tmp_path / "a"))
+        spec = town_spec()
+        addresses = engine.addresses(spec, LAYOUT)
+        for line_size in (16, 64):
+            want_runs, want_dup = collapse_consecutive(
+                to_lines(addresses, line_size))
+            # A tiny chunk forces many block boundaries (and stitches).
+            streams = engine.streamed(spec, LAYOUT, chunk_size=512)
+            got_runs, got_dup = streams.collapsed_runs(line_size)
+            assert np.array_equal(got_runs, want_runs)
+            assert got_dup == want_dup
+
+    def test_single_shard_streams(self, tmp_path):
+        exp = ExperimentSpec(**self.GRID)
+        ram = Engine(store=ArtifactStore(tmp_path / "a")).run(exp)
+        sharded = Engine(store=ArtifactStore(tmp_path / "b")).run(
+            exp, shards=1)
+        assert self.rows(ram) == self.rows(sharded)
+        store = ArtifactStore(tmp_path / "b")
+        assert store.open_render_blocks(exp.trace_specs()[0]) is not None
