@@ -18,8 +18,10 @@ Two harnesses share this file:
   **bit-identical** to the in-RAM baseline (miss-rate curves and 3C
   classifications) before its timing counts.  ``--smoke`` gates the
   equivalence plus a fixed peak-RSS budget at the current
-  ``REPRO_SCALE`` (the CI configuration); the full run sweeps chunk
-  sizes across scales 0.25/0.5/1.0 on all four scenes and records
+  ``REPRO_SCALE`` (the CI configuration) for both the serial streamed
+  fold and the pipelined fold (``stream_workers=2``); the full run
+  sweeps chunk sizes plus the sharded (``shards=2``) and pipelined
+  modes across scales 0.25/0.5/1.0 on all four scenes and records
   fragments/s and peak RSS in ``BENCH_streaming.json``.
 """
 
@@ -139,7 +141,7 @@ def _stream_configs(scale: float) -> list:
 
 
 def _run_pipeline(scene: str, scale: float, mode: str, chunk_size: int,
-                  shards: int) -> dict:
+                  shards: int, stream_workers: int = 0) -> dict:
     """One cold pipeline (render -> profiles -> curve -> 3C) in this
     process; returns everything the parent compares and records."""
     import resource
@@ -151,9 +153,17 @@ def _run_pipeline(scene: str, scale: float, mode: str, chunk_size: int,
     spec = TraceSpec(scene=scene, scale=scale, order=paper_order_spec(scene))
     engine = Engine()
     start = time.perf_counter()
-    if mode == "streamed":
+    if mode in ("streamed", "sharded", "pipelined"):
         streams = engine.streamed(spec, STREAM_LAYOUT, chunk_size=chunk_size,
-                                  shards=shards)
+                                  shards=shards,
+                                  stream_workers=stream_workers)
+        # Fold every profile the row needs in one pass over the blocks
+        # (classify set profiles + the fully-associative curve/3C
+        # profile), the way Engine.run batches a grid's pairs.
+        pairs = {(STREAM_LINE_SIZE, 1)}
+        pairs.update((STREAM_LINE_SIZE, CacheConfig(*config).n_sets)
+                     for config in _stream_configs(scale))
+        streams.prefetch(sorted(pairs))
         classify = [classify_streamed(streams,
                                       CacheConfig(*config))
                     for config in _stream_configs(scale)]
@@ -176,18 +186,28 @@ def _run_pipeline(scene: str, scale: float, mode: str, chunk_size: int,
         n_fragments = reader.n_fragments
     else:
         n_fragments = engine.render(spec).n_fragments
+    if mode == "pipelined":
+        # Reap the pool first so RUSAGE_CHILDREN covers the workers.
+        from repro.engine import shutdown_stream_pool
+        shutdown_stream_pool()
     maxrss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    children_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    streaming = mode in ("streamed", "sharded", "pipelined")
     return {
         "scene": scene,
         "scale": scale,
         "mode": mode,
-        "chunk_size": chunk_size if mode == "streamed" else None,
-        "shards": shards if mode == "streamed" else 0,
+        "chunk_size": chunk_size if streaming else None,
+        "shards": shards if streaming else 0,
+        "stream_workers": stream_workers if streaming else 0,
         "n_accesses": int(classify[0].accesses),
         "n_fragments": int(n_fragments),
         "elapsed_s": round(elapsed, 3),
         "fragments_per_s": round(n_fragments / max(elapsed, 1e-9)),
         "maxrss_mb": round(maxrss_kb / 1024, 1),
+        # Largest single-process peak among forked children (stream
+        # pool workers, shard folders); 0 when none ran.
+        "maxrss_children_mb": round(children_kb / 1024, 1),
         "miss_rates": [float(rate) for rate in curve.miss_rates],
         "classify": [[stats.misses, stats.cold_misses,
                       stats.capacity_misses, stats.conflict_misses]
@@ -196,7 +216,8 @@ def _run_pipeline(scene: str, scale: float, mode: str, chunk_size: int,
 
 
 def _spawn_worker(scene: str, scale: float, mode: str,
-                  chunk_size: int = 0, shards: int = 0) -> dict:
+                  chunk_size: int = 0, shards: int = 0,
+                  stream_workers: int = 0) -> dict:
     """Run one measurement in a fresh subprocess over a fresh cold
     store, so ``ru_maxrss`` (a per-process high-water mark) is that
     pipeline's own peak and no run warms another."""
@@ -208,7 +229,8 @@ def _spawn_worker(scene: str, scale: float, mode: str,
         result = subprocess.run(
             [sys.executable, __file__, "--worker", "--scene", scene,
              "--scale-value", repr(scale), "--mode", mode,
-             "--chunk", str(chunk_size), "--shards", str(shards)],
+             "--chunk", str(chunk_size), "--shards", str(shards),
+             "--stream-workers", str(stream_workers)],
             env=env, capture_output=True, text=True)
     if result.returncode != 0:
         raise RuntimeError(
@@ -228,22 +250,28 @@ def _assert_identical(baseline: dict, candidate: dict) -> None:
 
 
 def streaming_smoke() -> int:
-    """CI gate: streamed == in-RAM bit for bit on every scene at the
-    current ``REPRO_SCALE``, under the fixed peak-RSS budget."""
+    """CI gate: streamed and pipelined == in-RAM bit for bit on every
+    scene at the current ``REPRO_SCALE``, under the fixed peak-RSS
+    budget."""
     for scene in STREAM_SCENES:
         baseline = _spawn_worker(scene, SCALE, "ram")
         streamed = _spawn_worker(scene, SCALE, "streamed",
                                  chunk_size=CHUNK_SIZES[0])
         _assert_identical(baseline, streamed)
-        if streamed["maxrss_mb"] > SMOKE_RSS_BUDGET_MB:
-            raise AssertionError(
-                f"{scene}: streamed peak RSS {streamed['maxrss_mb']} MB "
-                f"exceeds the {SMOKE_RSS_BUDGET_MB} MB budget")
-        print(f"{scene}: streamed == in-RAM (curve + 3C), "
-              f"peak {streamed['maxrss_mb']} MB "
+        piped = _spawn_worker(scene, SCALE, "pipelined",
+                              chunk_size=CHUNK_SIZES[0], stream_workers=2)
+        _assert_identical(baseline, piped)
+        for row in (streamed, piped):
+            peak = max(row["maxrss_mb"], row["maxrss_children_mb"])
+            if peak > SMOKE_RSS_BUDGET_MB:
+                raise AssertionError(
+                    f"{scene}: {row['mode']} peak RSS {peak} MB "
+                    f"exceeds the {SMOKE_RSS_BUDGET_MB} MB budget")
+        print(f"{scene}: streamed + pipelined == in-RAM (curve + 3C), "
+              f"peaks {streamed['maxrss_mb']}/{piped['maxrss_mb']} MB "
               f"(in-RAM {baseline['maxrss_mb']} MB, "
               f"budget {SMOKE_RSS_BUDGET_MB} MB)")
-    print(f"smoke OK: bit-identical streamed pipeline on "
+    print(f"smoke OK: bit-identical streamed and pipelined pipelines on "
           f"{len(STREAM_SCENES)} scenes at scale {SCALE}")
     return 0
 
@@ -267,7 +295,17 @@ def measure_streaming() -> dict:
                       f"{streamed['elapsed_s']:7.1f} s  "
                       f"{streamed['maxrss_mb']:7.1f} MB  "
                       f"{streamed['fragments_per_s']:>9,} frag/s")
-    streamed_rows = [row for row in rows if row["mode"] == "streamed"]
+            for mode, kwargs in (("sharded", dict(shards=2)),
+                                 ("pipelined", dict(stream_workers=2))):
+                row = _spawn_worker(scene, scale, mode,
+                                    chunk_size=CHUNK_SIZES[0], **kwargs)
+                _assert_identical(baseline, row)
+                rows.append(row)
+                print(f"{scene:8s} scale {scale:4}  {mode:9s} "
+                      f"{row['elapsed_s']:7.1f} s  "
+                      f"{row['maxrss_mb']:7.1f} MB  "
+                      f"{row['fragments_per_s']:>9,} frag/s")
+    streaming_rows = [row for row in rows if row["mode"] != "ram"]
     ram_rows = [row for row in rows if row["mode"] == "ram"]
     return {
         "bench": "streaming_pipeline",
@@ -277,15 +315,20 @@ def measure_streaming() -> dict:
             "chunk_sizes": list(CHUNK_SIZES),
             "layout": list(STREAM_LAYOUT),
             "line_size": STREAM_LINE_SIZE,
+            "shards": 2,
+            "stream_workers": 2,
             "equivalence": "bit-identical miss-rate curves and 3C "
                            "classifications vs the in-RAM pipeline, "
                            "verified per row before timing counts",
             "rss_meter": "resource.getrusage(RUSAGE_SELF).ru_maxrss in a "
-                         "fresh subprocess per measurement, cold store",
+                         "fresh subprocess per measurement, cold store "
+                         "(maxrss_children_mb: largest forked worker)",
         },
         "rows": rows,
         "peak_rss_mb": {
-            "streamed_max": max(row["maxrss_mb"] for row in streamed_rows),
+            "streamed_max": max(max(row["maxrss_mb"],
+                                    row["maxrss_children_mb"])
+                                for row in streaming_rows),
             "in_ram_max": max(row["maxrss_mb"] for row in ram_rows),
         },
     }
@@ -304,11 +347,13 @@ def main(argv=None) -> int:
     parser.add_argument("--chunk", type=int, default=0, help=argparse.SUPPRESS)
     parser.add_argument("--shards", type=int, default=0,
                         help=argparse.SUPPRESS)
+    parser.add_argument("--stream-workers", type=int, default=0,
+                        help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
 
     if args.worker:
         row = _run_pipeline(args.scene, float(args.scale_value), args.mode,
-                            args.chunk, args.shards)
+                            args.chunk, args.shards, args.stream_workers)
         print(json.dumps(row))
         return 0
     if args.smoke:

@@ -111,11 +111,24 @@ def _add_streaming_arguments(parser):
     parser.add_argument("--shards", type=int, default=0,
                         help="fan the streaming profile fold across this "
                              "many processes (implies streaming)")
+    parser.add_argument("--stream-workers", type=int, default=0,
+                        help="pipeline the streaming fold: partition cold "
+                             "renders across this many persistent worker "
+                             "processes and fold blocks as they arrive over "
+                             "shared memory (implies streaming; >= 2 to "
+                             "engage, falls back to the serial streamed "
+                             "path on any pipeline failure)")
+    parser.add_argument("--audit-parts", type=int, default=0,
+                        metavar="N",
+                        help="spot-audit N sampled parts of every streamed "
+                             "trace against a sequential reference oracle "
+                             "(requires streaming)")
 
 
 def _streaming_requested(args) -> bool:
     return bool(getattr(args, "chunk_size", None)) or \
-        getattr(args, "shards", 0) > 0
+        getattr(args, "shards", 0) > 0 or \
+        getattr(args, "stream_workers", 0) > 0
 
 
 def _order_spec(args, scene_name: str) -> tuple:
@@ -186,14 +199,26 @@ def _simulate(args) -> int:
                          None if args.assoc == 0 else args.assoc)
     if _streaming_requested(args):
         if args.kernel != "vectorized":
-            print("error: --chunk-size/--shards require --kernel vectorized",
-                  file=sys.stderr)
+            print("error: --chunk-size/--shards/--stream-workers require "
+                  "--kernel vectorized", file=sys.stderr)
             return 2
         from .engine import classify_streamed
         streams = engine.streamed(spec, layout_spec,
                                   chunk_size=args.chunk_size,
-                                  shards=args.shards)
+                                  shards=args.shards,
+                                  stream_workers=args.stream_workers)
         stats = classify_streamed(streams, config)
+        if args.audit_parts:
+            report = streams.audit([(config.line_size, 1),
+                                    (config.line_size, config.n_sets)],
+                                   parts=args.audit_parts)
+            print(f"audit: {len(report.parts)}/{report.n_parts} parts vs "
+                  f"the sequential oracle, {len(report.pairs)} pair(s), "
+                  f"{report.accesses:,} accesses checked -- OK")
+    elif args.audit_parts:
+        print("error: --audit-parts requires streaming "
+              "(--chunk-size/--shards/--stream-workers)", file=sys.stderr)
+        return 2
     else:
         addresses = engine.addresses(spec, layout_spec)
         stats = classify_misses(addresses, config, kernel=args.kernel)
@@ -221,11 +246,16 @@ def _sweep(args) -> int:
                 max_anisotropy=args.aniso, lod_bias=args.lod_bias,
                 use_mipmaps=not args.no_mipmaps)
     if _streaming_requested(args) and args.kernel != "vectorized":
-        print("error: --chunk-size/--shards require --kernel vectorized",
-              file=sys.stderr)
+        print("error: --chunk-size/--shards/--stream-workers require "
+              "--kernel vectorized", file=sys.stderr)
+        return 2
+    if args.audit_parts and not _streaming_requested(args):
+        print("error: --audit-parts requires streaming "
+              "(--chunk-size/--shards/--stream-workers)", file=sys.stderr)
         return 2
     run_kwargs = dict(kernel=args.kernel, chunk_size=args.chunk_size,
-                      shards=args.shards)
+                      shards=args.shards, stream_workers=args.stream_workers,
+                      audit_parts=args.audit_parts)
 
     if args.axis == "cache":
         result = engine.run(ExperimentSpec(

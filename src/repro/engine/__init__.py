@@ -55,8 +55,14 @@ from .runner import (
 )
 from .streaming import (
     DEFAULT_CHUNK_SIZE,
+    StreamAuditReport,
     StreamedProfiles,
+    StreamingAuditError,
     classify_streamed,
+)
+from .pipelined import (
+    PipelineError,
+    shutdown_stream_pool,
 )
 
 __all__ = [
@@ -85,6 +91,10 @@ __all__ = [
     "reset_render_calls",
     "run_experiment",
     "DEFAULT_CHUNK_SIZE",
+    "StreamAuditReport",
     "StreamedProfiles",
+    "StreamingAuditError",
     "classify_streamed",
+    "PipelineError",
+    "shutdown_stream_pool",
 ]

@@ -538,11 +538,62 @@ class ArtifactStore:
 
     # -- chunked (streaming) traces --------------------------------------
 
-    def open_render_writer(self, spec: TraceSpec) -> "ChunkedRenderWriter":
+    def open_render_writer(self, spec: TraceSpec,
+                           part_base: int = 0) -> "ChunkedRenderWriter":
         """A :class:`ChunkedRenderWriter` that persists ``spec``'s
         render one :class:`~repro.pipeline.trace.FragmentBlock` at a
-        time; peak store-side memory is one block."""
-        return ChunkedRenderWriter(self, spec)
+        time; peak store-side memory is one block.  ``part_base``
+        offsets the part numbering so several writers (one per
+        pipelined range) can stream the same trace without colliding;
+        the parent renumbers densely before publishing the sidecar."""
+        return ChunkedRenderWriter(self, spec, part_base=part_base)
+
+    def publish_chunked_sidecar(self, spec: TraceSpec, parts: list,
+                                counters: dict) -> bool:
+        """Publish the sidecar that turns already-written part files
+        into a complete chunked trace artifact -- the single commit
+        point shared by the serial :class:`ChunkedRenderWriter` and
+        the pipelined parent assembling parts from several writers.
+        ``counters`` must carry ``n_triangles_submitted`` /
+        ``n_triangles_rasterized`` (and optionally ``has_positions``);
+        access/fragment totals come from the part envelopes."""
+        digest = fingerprint(spec.payload())
+        meta = {
+            "key": spec.payload(),
+            "parts": list(parts),
+            "n_parts": len(parts),
+            "n_accesses": sum(int(entry["n_accesses"]) for entry in parts),
+            "n_fragments": sum(int(entry["n_fragments"]) for entry in parts),
+            "has_positions": bool(counters.get("has_positions", False)),
+            "n_triangles_submitted": int(counters["n_triangles_submitted"]),
+            "n_triangles_rasterized": int(counters["n_triangles_rasterized"]),
+        }
+
+        def publish():
+            _atomic_write(
+                self._path("traces", digest, ".json"),
+                lambda temp: Path(temp).write_text(json.dumps(meta, indent=1)))
+        return self._guarded_write(publish)
+
+    def renumber_parts(self, spec: TraceSpec, parts: list):
+        """Rename strided part files (``part_base`` writers) into the
+        dense ``.p00000``... sequence the sidecar will list, in the
+        given order.  Returns the renamed envelopes, or ``None`` when a
+        rename failed (the caller then withholds the sidecar and the
+        strided parts age out as orphan litter)."""
+        digest = fingerprint(spec.payload())
+        renamed = []
+        for index, entry in enumerate(parts):
+            source = self.root / "traces" / entry["name"]
+            target = self._path(
+                "traces", digest, f".p{index:0{traceio.PART_DIGITS}d}.npz")
+            if source != target:
+                try:
+                    os.replace(source, target)
+                except OSError:
+                    return None
+            renamed.append({**entry, "name": target.name})
+        return renamed
 
     def open_render_blocks(self, spec: TraceSpec):
         """A :class:`ChunkedRenderReader` over ``spec``'s chunked trace
@@ -849,10 +900,13 @@ class ChunkedRenderWriter:
     trace can never verify as complete.
     """
 
-    def __init__(self, store: ArtifactStore, spec: TraceSpec):
+    def __init__(self, store: ArtifactStore, spec: TraceSpec,
+                 part_base: int = 0):
         self._store = store
+        self._spec = spec
         self._payload = spec.payload()
         self._digest = fingerprint(self._payload)
+        self._part_base = int(part_base)
         self._parts = []
         self._n_accesses = 0
         self._n_fragments = 0
@@ -860,18 +914,27 @@ class ChunkedRenderWriter:
         self._complete = True
         self._finished = False
 
+    @property
+    def part_envelopes(self) -> list:
+        """Integrity envelopes of the parts published so far."""
+        return list(self._parts)
+
     def append(self, block) -> None:
         """Atomically publish one block as the next part file."""
         if self._finished:
             raise StoreError("ChunkedRenderWriter already finished")
         store = self._store
-        index = len(self._parts)
+        index = self._part_base + len(self._parts)
         path = store._path(
             "traces", self._digest,
             f".p{index:0{traceio.PART_DIGITS}d}.npz")
 
         def publish():
-            _atomic_write(path, lambda temp: traceio.save_trace(temp, block))
+            # Stored (uncompressed) npz: the part's integrity lives in
+            # its envelope digest, and skipping deflate roughly triples
+            # cold streamed throughput on trace-bound scenes.
+            _atomic_write(path, lambda temp: traceio.save_trace(
+                temp, block, compress=False))
         if not store._guarded_write(publish):
             self._complete = False
             return
@@ -897,27 +960,24 @@ class ChunkedRenderWriter:
         ``totals`` dict filled by
         :func:`~repro.pipeline.renderer.render_trace_blocks` works).
         Returns whether the artifact is now complete on disk."""
+        parts, complete, has_positions = self.finish_parts()
+        if not complete:
+            return False
+        return self._store.publish_chunked_sidecar(
+            self._spec, parts, {**counters, "has_positions": has_positions})
+
+    def finish_parts(self) -> tuple:
+        """Close the writer WITHOUT publishing a sidecar; returns
+        ``(envelopes, complete, has_positions)``.  This is the
+        pipelined-range half of :meth:`finish`: each worker's writer
+        hands its envelopes to the parent, which assembles every
+        range's parts in order and commits the sidecar itself -- so a
+        partial fleet can never publish a partial trace."""
         if self._finished:
             raise StoreError("ChunkedRenderWriter already finished")
         self._finished = True
-        if not self._complete or self._store._demoted:
-            return False
-        meta = {
-            "key": self._payload,
-            "parts": self._parts,
-            "n_parts": len(self._parts),
-            "n_accesses": self._n_accesses,
-            "n_fragments": self._n_fragments,
-            "has_positions": self._has_positions,
-            "n_triangles_submitted": int(counters["n_triangles_submitted"]),
-            "n_triangles_rasterized": int(counters["n_triangles_rasterized"]),
-        }
-
-        def publish():
-            _atomic_write(
-                self._store._path("traces", self._digest, ".json"),
-                lambda temp: Path(temp).write_text(json.dumps(meta, indent=1)))
-        return self._store._guarded_write(publish)
+        complete = self._complete and not self._store._demoted
+        return list(self._parts), complete, self._has_positions
 
 
 class ChunkedRenderReader:
@@ -933,6 +993,35 @@ class ChunkedRenderReader:
         self._root = store.root
         self.meta = meta
         self.parts = meta["parts"]
+        self._pending_digest = None
+
+    @classmethod
+    def pending(cls, store: ArtifactStore,
+                spec: TraceSpec) -> "ChunkedRenderReader":
+        """A reader over a chunked trace that is still being written:
+        there is no sidecar yet, so parts are readiness-polled
+        (:meth:`poll_part`) as their producers publish them.  Totals
+        are unknown until the producers report; only per-part access
+        is meaningful on a pending reader."""
+        reader = cls(store, {"parts": [], "n_accesses": 0,
+                             "n_fragments": 0, "key": spec.payload()})
+        reader._pending_digest = fingerprint(spec.payload())
+        return reader
+
+    def poll_part(self, part_index: int):
+        """The part at absolute index ``part_index`` if its producer
+        has already published it, else ``None`` -- the readiness
+        protocol for folding a trace while it is still being written.
+        Parts are committed with an atomic rename, so existence implies
+        completeness; no lock, size or digest handshake is needed."""
+        if self._pending_digest is None:
+            raise StoreError("poll_part needs a pending() reader")
+        name = (f"{self._pending_digest}"
+                f".p{int(part_index):0{traceio.PART_DIGITS}d}.npz")
+        path = self._root / "traces" / name
+        if not path.exists():
+            return None
+        return self._load_block(name, int(part_index))
 
     @property
     def n_parts(self) -> int:
@@ -955,8 +1044,10 @@ class ChunkedRenderReader:
         return int(self.meta["n_triangles_rasterized"])
 
     def read_part(self, index: int) -> FragmentBlock:
-        trace = traceio.load_trace(
-            str(self._root / "traces" / self.parts[index]["name"]))
+        return self._load_block(self.parts[index]["name"], index)
+
+    def _load_block(self, name: str, index: int) -> FragmentBlock:
+        trace = traceio.load_trace(str(self._root / "traces" / name))
         return FragmentBlock(
             texture_id=trace.texture_id, level=trace.level,
             tu=trace.tu, tv=trace.tv,

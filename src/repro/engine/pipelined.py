@@ -1,0 +1,732 @@
+"""Pipelined parallel streaming: overlap render, persist and fold.
+
+The serial streaming fold (:mod:`repro.engine.streaming`) renders
+blocks, persists parts and folds profiles strictly one after another
+in a single process.  This module runs the same fold as a
+producer/consumer pipeline over a **persistent** pool of worker
+processes, with bit-identical results::
+
+    parent                          workers (persistent StreamPool)
+    ------                          -------------------------------
+    submit render ranges   ----->   task queue
+                                    render one contiguous clipped-
+                                    triangle slice -> FragmentBlocks,
+                                    persist each part, fold it into
+                                    the range's per-pair states
+    collect range states   <-----   event queue (per-range partial
+    merge in range order            states; or raw blocks over shared
+                                    memory / part-file polling)
+    renumber + publish     <-----   per-range part envelopes
+    sidecar (all ranges
+    complete, or nothing)
+
+**Parallel cold render.**  The clipped triangle index space is cut
+into equal contiguous slices (:func:`~repro.pipeline.renderer.
+triangle_slice_bounds` -- a pure function of the clipped triangle
+count, so each worker derives its own bounds).  Triangle boundaries
+are fragment boundaries, so concatenating the slices' block streams
+in slice order is bit-identical to the unsliced stream, and the
+associative-exact :meth:`~repro.core.kernels.PartialSetProfile.merge`
+over per-range states in range order reproduces the serial fold bit
+for bit (merge is *not* commutative -- order is load-bearing).
+
+**Block transport.**  Three ways rendered blocks reach the fold,
+selected by ``REPRO_STREAM_TRANSPORT`` (see :func:`_resolve_transport`
+for the tradeoff).  ``state`` (default): each worker folds the blocks
+it renders immediately after persisting them and ships only tiny
+per-range partial states -- both heavy stages parallelize across the
+whole pool and no bulk data crosses a process boundary.  ``shm``: the
+parent folds; workers ship each block's columns through one
+``multiprocessing.shared_memory`` segment per block (a small
+descriptor crosses the queue; the arrays do not get pickled), and the
+bounded event queue applies backpressure so in-flight segments -- and
+therefore peak RSS -- stay capped at a few blocks.  ``store``: the
+parent folds by readiness-polling the part files workers publish
+atomically (:meth:`~repro.engine.artifacts.ChunkedRenderReader.
+poll_part`) -- no shared memory needed, and the single-machine
+prototype of a cross-machine fold.  Forcing ``shm`` on a host without
+shared memory degrades to the serial fold, with a warning, via
+:class:`PipelineError`.
+
+**Persistence.**  Each worker writes its slice's parts through its
+own ``part_base``-offset :class:`~repro.engine.artifacts.
+ChunkedRenderWriter` (checksummed, atomically published, sidecar
+withheld).  Only the parent -- after every range reports complete --
+renumbers the strided parts into the dense ``.p00000`` sequence and
+publishes the sidecar, so a partially rendered trace can never
+verify as a complete artifact; a killed pipeline leaves orphan parts
+that age out through :meth:`~repro.engine.artifacts.ArtifactStore.
+repair` like any interrupted serial writer.
+
+**Warm traces** (chunked parts already in the store) skip the render
+stage: part ranges fan out over the same pool, each worker folds its
+range into picklable partial states, and the parent merges them in
+part order -- the sharded fold of PR 6, but on a pool that persists
+across every row of an experiment grid instead of being respawned
+per fold.
+
+Any failure -- a dead worker, a poisoned queue, shared memory missing
+-- raises :class:`PipelineError`; :class:`~repro.engine.streaming.
+StreamedProfiles` catches it, warns, and reruns the serial path, so
+pipelining can only ever cost time, never correctness.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import time
+import traceback
+import warnings
+from queue import Empty
+
+import numpy as np
+
+from ..core.kernels import PartialSetProfile
+from ..pipeline.renderer import render_trace_blocks
+from ..pipeline.trace import FragmentBlock
+from ..texture.memory import place_textures
+from .artifacts import ArtifactStore, ChunkedRenderReader, fingerprint
+from .spec import layout_from_spec, order_from_spec
+
+#: Part-index stride between ranges; the parent renumbers densely, so
+#: this only needs to exceed any single range's block count.
+PART_STRIDE = 100_000
+
+#: Render/fold ranges per worker: >1 so a fragment-heavy slice is
+#: rebalanced dynamically through the shared task queue, but low --
+#: each range pays fixed dispatch/flush costs, and on the few-core
+#: hosts this targets the smoothing won from finer slices is smaller
+#: than that overhead.
+RANGES_PER_WORKER = 2
+
+#: Event-queue poll interval; also paces store-transport readiness
+#: polling.
+EVENT_POLL_S = 0.05
+
+#: A pipeline that neither delivers an event nor folds a part for this
+#: long (with live workers) is declared wedged.
+NO_PROGRESS_TIMEOUT_S = 600.0
+
+
+class PipelineError(RuntimeError):
+    """The pipelined fold could not run or finish; callers degrade to
+    the serial streaming path (results stay bit-identical)."""
+
+
+def _shm_module():
+    """``multiprocessing.shared_memory``, or ``None`` when the host
+    lacks it (or tests inject ``REPRO_FAULT_SHM=unavailable``)."""
+    if os.environ.get("REPRO_FAULT_SHM") == "unavailable":
+        return None
+    try:
+        from multiprocessing import shared_memory
+    except ImportError:
+        return None
+    return shared_memory
+
+
+def _resolve_transport(store: ArtifactStore) -> str:
+    """Which way rendered blocks reach the fold.
+
+    ``state`` (default): each worker folds the blocks it renders and
+    ships only per-range partial states -- both heavy stages
+    parallelize, nothing bulk crosses a process boundary, but every
+    worker holds its own fold state for all pairs.  ``shm``: workers
+    ship raw blocks through shared memory and the parent folds --
+    workers stay fold-state-free (one copy of the states total),
+    costing a dedicated folding core.  ``store``: like ``shm`` but the
+    parent readiness-polls the part files instead (no shared memory
+    needed; the cross-machine fold protocol)."""
+    forced = os.environ.get("REPRO_STREAM_TRANSPORT", "").strip().lower()
+    transport = forced or "state"
+    if transport == "store":
+        if not store.available:
+            raise PipelineError(
+                "store block transport needs a writable store")
+        return "store"
+    if transport == "shm":
+        if _shm_module() is None:
+            raise PipelineError(
+                "multiprocessing.shared_memory is unavailable "
+                "(set REPRO_STREAM_TRANSPORT=store to pipeline through "
+                "part files instead)")
+        return "shm"
+    if transport != "state":
+        raise PipelineError(
+            f"unknown REPRO_STREAM_TRANSPORT {forced!r}")
+    return "state"
+
+
+# -- shared-memory block transport ----------------------------------------
+
+#: Column order is part of the descriptor contract.
+_BLOCK_COLUMNS = ("texture_id", "level", "tu", "tv",
+                  "tu_raw", "tv_raw", "kind", "x", "y")
+
+
+def _pack_block(shared_memory, block) -> dict:
+    """Copy one block's columns into a fresh shared-memory segment;
+    returns the descriptor the consumer rebuilds views from.  The
+    producer disowns the segment (the consumer unlinks after
+    folding), so exactly one process ever frees it."""
+    arrays = {}
+    for name in _BLOCK_COLUMNS:
+        data = getattr(block, name)
+        if data is not None:
+            arrays[name] = np.ascontiguousarray(data)
+    columns = {}
+    offset = 0
+    for name, data in arrays.items():
+        columns[name] = (str(data.dtype), tuple(data.shape), offset)
+        offset += data.nbytes
+    segment = shared_memory.SharedMemory(create=True, size=max(1, offset))
+    try:
+        for name, (dtype, shape, start) in columns.items():
+            view = np.ndarray(shape, dtype=dtype, buffer=segment.buf,
+                              offset=start)
+            view[...] = arrays[name]
+            view = None
+    finally:
+        descriptor = {
+            "shm": segment.name,
+            "columns": columns,
+            "n_fragments": int(block.n_fragments),
+            "index": int(block.index) if block.index is not None else 0,
+        }
+        segment.close()
+        _disown_segment(segment)
+    return descriptor
+
+
+def _disown_segment(segment) -> None:
+    """Transfer cleanup responsibility to the consumer.  Without this
+    the producer's resource tracker would unlink the segment again at
+    process exit -- after the parent already has -- and complain."""
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _consume_shm_block(shared_memory, descriptor, fold) -> None:
+    """Rebuild a block from its shared segment, run ``fold(block)``
+    (which must not retain views -- address mapping copies), then
+    close and unlink the segment."""
+    segment = shared_memory.SharedMemory(name=descriptor["shm"])
+    block = columns = None
+    try:
+        columns = dict.fromkeys(_BLOCK_COLUMNS)
+        for name, (dtype, shape, start) in descriptor["columns"].items():
+            columns[name] = np.ndarray(tuple(shape), dtype=dtype,
+                                       buffer=segment.buf, offset=start)
+        block = FragmentBlock(n_fragments=descriptor["n_fragments"],
+                              index=descriptor["index"], **columns)
+        fold(block)
+    finally:
+        block = columns = None
+        try:
+            segment.close()
+        except BufferError:
+            pass  # a failing fold can pin views; unlink still works
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _discard_segment(descriptor) -> None:
+    """Best-effort unlink of an unconsumed in-flight segment (error
+    and shutdown paths)."""
+    shared_memory = _shm_module()
+    if shared_memory is None:
+        return
+    try:
+        segment = shared_memory.SharedMemory(name=descriptor["shm"])
+        segment.close()
+        segment.unlink()
+    except Exception:
+        pass
+
+
+# -- worker side -----------------------------------------------------------
+
+#: Per-worker memo of the last built scene / placements: an experiment
+#: grid re-renders and re-folds the same scene across many rows, and
+#: the pool persists across rows, so this is where scene builds
+#: amortize.  Size-one on purpose (bounded worker RSS).
+_SCENES: dict = {}
+_PLACEMENTS: dict = {}
+_READERS: dict = {}
+
+
+def _cached_scene(spec):
+    from .streaming import _build_scene
+    key = (spec.scene, float(spec.scale), float(spec.time))
+    if key not in _SCENES:
+        _SCENES.clear()
+        _PLACEMENTS.clear()
+        _SCENES[key] = _build_scene(spec)
+    return _SCENES[key]
+
+
+def _cached_placements(spec, layout_spec):
+    key = (spec.scene, float(spec.scale), float(spec.time),
+           tuple(layout_spec))
+    if key not in _PLACEMENTS:
+        _PLACEMENTS.clear()
+        _PLACEMENTS[key] = place_textures(
+            _cached_scene(spec).get_mipmaps(),
+            layout_from_spec(layout_spec))
+    return _PLACEMENTS[key]
+
+
+def _cached_reader(root: str, spec):
+    """Open (and envelope-verify) a chunked trace once per worker, not
+    once per fold job: a published trace is immutable and an experiment
+    grid folds the same trace once per profile pair, so re-verifying
+    every part's checksum on every job dominates small fold ranges."""
+    key = (root, fingerprint(spec.payload()))
+    if key not in _READERS:
+        reader = ArtifactStore(root).open_render_blocks(spec)
+        if reader is None:
+            return None  # never cache a miss: the trace may land later
+        _READERS.clear()
+        _READERS[key] = reader
+    return _READERS[key]
+
+
+def _worker_loop(tasks, events) -> None:
+    """Generic persistent worker: render ranges and fold ranges until
+    the ``None`` sentinel.  A task failure is reported as an event and
+    the worker lives on; only a hard crash kills it."""
+    while True:
+        task = tasks.get()
+        if task is None:
+            break
+        kind, job = task
+        try:
+            if kind == "render":
+                _worker_render(job, events)
+            elif kind == "fold":
+                _worker_fold(job, events)
+            else:
+                raise RuntimeError(f"unknown stream task {kind!r}")
+        except Exception:
+            events.put(("error", job.get("range", -1),
+                        traceback.format_exc()))
+
+
+def _worker_render(job: dict, events) -> None:
+    """Render one triangle slice: persist its parts (strided index
+    space), fold them inline (state transport) or ship each block to
+    the folding parent (shm/store), report envelopes."""
+    if os.environ.get("REPRO_FAULT_STREAM_POOL") == "die":
+        os._exit(1)  # fault injection: simulate a hard worker crash
+    spec = job["trace_spec"]
+    store = ArtifactStore(job["root"])
+    writer = store.open_render_writer(spec, part_base=job["part_base"])
+    shared_memory = _shm_module() if job["transport"] == "shm" else None
+    states = placements = None
+    if job["transport"] == "state":
+        from .streaming import _fold_block_into
+        placements = _cached_placements(spec, job["layout_spec"])
+        states = {pair: PartialSetProfile.empty(*pair)
+                  for pair in job["pairs"]}
+    totals: dict = {}
+    blocks = render_trace_blocks(
+        _cached_scene(spec), job["chunk_size"],
+        order=order_from_spec(spec.order), raster=spec.raster,
+        record_positions=spec.record_positions,
+        max_anisotropy=spec.max_anisotropy, lod_bias=spec.lod_bias,
+        use_mipmaps=spec.use_mipmaps, totals=totals,
+        triangle_slice=(job["range"], job["n_ranges"]))
+    n_blocks = 0
+    for block in blocks:
+        writer.append(block)
+        if states is not None:
+            _fold_block_into(states, block.byte_addresses(placements))
+        elif shared_memory is not None:
+            events.put(("block", job["range"], n_blocks,
+                        _pack_block(shared_memory, block)))
+        elif len(writer.part_envelopes) != n_blocks + 1:
+            # Store transport folds off the part files, so a part that
+            # failed to persist (demoted store) would hang the parent.
+            raise RuntimeError(
+                "store transport needs every part persisted")
+        n_blocks += 1
+    envelopes, complete, has_positions = writer.finish_parts()
+    totals.pop("per_triangle_fragments", None)
+    totals["has_positions"] = has_positions
+    payload = {"envelopes": envelopes, "complete": complete,
+               "totals": totals, "n_blocks": n_blocks}
+    if states is not None:
+        payload["states"] = states
+    events.put(("range_done", job["range"], payload))
+
+
+def _worker_fold(job: dict, events) -> None:
+    """Fold one contiguous part range of a warm chunked trace into
+    per-pair partial states (picklable; parent merges in part order)."""
+    from .streaming import _fold_block_into
+    reader = _cached_reader(job["root"], job["trace_spec"])
+    if reader is None:
+        raise RuntimeError("chunked trace vanished under the fold")
+    placements = _cached_placements(job["trace_spec"], job["layout_spec"])
+    states = {pair: PartialSetProfile.empty(*pair)
+              for pair in job["pairs"]}
+    for index in range(job["lo"], job["hi"]):
+        _fold_block_into(states,
+                         reader.read_part(index).byte_addresses(placements))
+    events.put(("fold_done", job["range"], states))
+
+
+# -- the persistent pool ---------------------------------------------------
+
+class StreamPool:
+    """A persistent pool of streaming workers plus the two queues that
+    connect them to the parent.  One pool serves every fold of every
+    row of an experiment grid; it is rebuilt only when the worker
+    count changes or a worker dies."""
+
+    def __init__(self, workers: int):
+        import multiprocessing
+        self.workers = int(workers)
+        context = multiprocessing.get_context()
+        self.tasks = context.Queue()
+        # Bounded: backpressure on producers caps in-flight blocks
+        # (and therefore shared-memory segments and peak RSS).
+        self.events = context.Queue(maxsize=max(4, 2 * self.workers))
+        self.processes = [
+            context.Process(target=_worker_loop, args=(self.tasks,
+                                                       self.events),
+                            name=f"stream-worker-{index}", daemon=True)
+            for index in range(self.workers)]
+        for process in self.processes:
+            process.start()
+
+    def alive(self) -> bool:
+        return all(process.is_alive() for process in self.processes)
+
+    def shutdown(self, force: bool = False) -> None:
+        if not force:
+            for _ in self.processes:
+                try:
+                    self.tasks.put_nowait(None)
+                except Exception:
+                    break
+            for process in self.processes:
+                process.join(timeout=5.0)
+        for process in self.processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        # Unlink any in-flight shared segments still queued.
+        while True:
+            try:
+                message = self.events.get_nowait()
+            except Exception:
+                break
+            if message and message[0] == "block":
+                _discard_segment(message[3])
+        for channel in (self.tasks, self.events):
+            try:
+                channel.close()
+                channel.cancel_join_thread()
+            except Exception:
+                pass
+
+
+_POOL: StreamPool = None
+
+
+def _seed_pool_memos(spec, layout_spec, workers: int) -> None:
+    """Pre-build the scene (and, given a layout, the placements) in the
+    parent when a fresh pool is about to fork: children inherit the
+    worker memos copy-on-write, so the whole pool pays one scene build
+    -- mipmaps included -- instead of one per worker.  Texture
+    synthesis dominates cold time on small scenes, and the duplicated
+    builds also contended for memory bandwidth.  No-op when the pool
+    already exists (the fork already happened) or the start method
+    cannot inherit parent memory."""
+    import multiprocessing
+    if _POOL is not None and _POOL.workers == int(workers) \
+            and _POOL.alive():
+        return
+    if multiprocessing.get_start_method() != "fork":
+        return
+    if layout_spec is not None:
+        _cached_placements(spec, layout_spec)
+    else:
+        _cached_scene(spec).get_mipmaps()
+
+
+def get_pool(workers: int) -> StreamPool:
+    """The process-wide persistent pool, (re)built on first use, on a
+    worker-count change, or after a worker death."""
+    global _POOL
+    workers = int(workers)
+    if _POOL is not None and (_POOL.workers != workers
+                              or not _POOL.alive()):
+        _POOL.shutdown(force=not _POOL.alive())
+        _POOL = None
+    if _POOL is None:
+        _POOL = StreamPool(workers)
+    return _POOL
+
+
+def shutdown_stream_pool() -> None:
+    """Tear down the persistent pool (idempotent; re-created lazily)."""
+    global _POOL
+    pool, _POOL = _POOL, None
+    if pool is not None:
+        pool.shutdown()
+
+
+def _break_pool() -> None:
+    """Hard-stop a pool in an unknown state (failed run): a clean one
+    is rebuilt on the next fold."""
+    global _POOL
+    pool, _POOL = _POOL, None
+    if pool is not None:
+        pool.shutdown(force=True)
+
+
+atexit.register(shutdown_stream_pool)
+
+
+# -- parent-side drivers ---------------------------------------------------
+
+def fold_pipelined(profiles, pairs) -> dict:
+    """Compute every pair's :class:`PartialSetProfile` for
+    ``profiles`` (a :class:`~repro.engine.streaming.StreamedProfiles`)
+    through the pipelined pool.  Raises :class:`PipelineError` -- with
+    the pool torn down -- on any failure, so the caller can rerun the
+    serial path."""
+    pairs = tuple(pairs)
+    if int(profiles.stream_workers) < 2:
+        raise PipelineError("pipelined fold needs stream_workers >= 2")
+    try:
+        return _fold_dispatch(profiles, pairs)
+    except PipelineError:
+        _break_pool()
+        raise
+    except Exception as fault:
+        _break_pool()
+        raise PipelineError(f"{type(fault).__name__}: {fault}") from fault
+
+
+def _fold_dispatch(profiles, pairs) -> dict:
+    store = profiles.store
+    spec = profiles.trace_spec
+    reader = store.open_render_blocks(spec)
+    if reader is None and store.load_render(spec) is not None:
+        # Monolithic artifact: re-chunk it (serial, IO-bound) so the
+        # warm parallel fold below has parts to fan out.
+        reader = profiles._ensure_chunked()
+        if reader is None:
+            raise PipelineError(
+                "store cannot hold the chunked representation")
+    if reader is not None:
+        if len(reader) < 2:
+            raise PipelineError("single-part trace (nothing to fan out)")
+        return _fold_warm(profiles, pairs, reader)
+    return _fold_cold(profiles, pairs)
+
+
+def _fold_warm(profiles, pairs, reader) -> dict:
+    """Fan a warm chunked trace's part ranges over the pool."""
+    _seed_pool_memos(profiles.trace_spec, profiles.layout_spec,
+                     profiles.stream_workers)
+    pool = get_pool(profiles.stream_workers)
+    n_parts = len(reader)
+    n_ranges = min(n_parts, pool.workers * RANGES_PER_WORKER)
+    bounds = np.linspace(0, n_parts, n_ranges + 1).astype(int)
+    jobs = [{"range": index, "root": str(profiles.store.root),
+             "trace_spec": profiles.trace_spec,
+             "layout_spec": profiles.layout_spec,
+             "lo": int(lo), "hi": int(hi), "pairs": pairs}
+            for index, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:]))
+            if hi > lo]
+    for job in jobs:
+        pool.tasks.put(("fold", job))
+    results: dict = {}
+    last_progress = time.monotonic()
+    while len(results) < len(jobs):
+        try:
+            message = pool.events.get(timeout=EVENT_POLL_S)
+        except Empty:
+            if not pool.alive():
+                raise PipelineError("stream pool worker died mid-fold")
+            if time.monotonic() - last_progress > NO_PROGRESS_TIMEOUT_S:
+                raise PipelineError("pipelined warm fold stalled")
+            continue
+        if message[0] == "error":
+            raise PipelineError(
+                f"stream worker failed:\n{message[2]}")
+        if message[0] != "fold_done":
+            raise PipelineError(
+                f"unexpected {message[0]!r} event in warm fold")
+        results[message[1]] = message[2]
+        last_progress = time.monotonic()
+    # merge() is associative-exact but not commutative: range order is
+    # part order is stream order.
+    states = {pair: PartialSetProfile.empty(*pair) for pair in pairs}
+    for job in jobs:
+        for pair in pairs:
+            states[pair] = states[pair].merge(results[job["range"]][pair])
+    return states
+
+
+def _fold_cold(profiles, pairs) -> dict:
+    """Render, persist and fold a cold trace concurrently."""
+    store = profiles.store
+    spec = profiles.trace_spec
+    transport = _resolve_transport(store)
+    # State transport: workers fold, so they need placements; shm and
+    # store fold in the parent, whose own placements (profiles._placed)
+    # live in a different memo -- seed the render-side scene only.
+    _seed_pool_memos(spec,
+                     profiles.layout_spec if transport == "state" else None,
+                     profiles.stream_workers)
+    pool = get_pool(profiles.stream_workers)
+    # State transport folds inside the workers, so the parent never
+    # maps a block and skips its own placements (the pre-fork seed
+    # above builds the scene exactly once, in the worker memo).
+    placements = None if transport == "state" else profiles._placed()
+    digest = fingerprint(spec.payload())
+    with store.single_flight("traces", digest):
+        reader = store.open_render_blocks(spec)
+        if reader is not None:
+            # A racing process published the trace while we waited.
+            if len(reader) < 2:
+                raise PipelineError("single-part trace (nothing to fan out)")
+            return _fold_warm(profiles, pairs, reader)
+        from . import runner
+        runner.RENDER_CALLS += 1
+        n_ranges = pool.workers * RANGES_PER_WORKER
+        jobs = [{"range": index, "n_ranges": n_ranges,
+                 "root": str(store.root), "trace_spec": spec,
+                 "layout_spec": profiles.layout_spec, "pairs": pairs,
+                 "chunk_size": profiles.chunk_size,
+                 "part_base": index * PART_STRIDE,
+                 "transport": transport}
+                for index in range(n_ranges)]
+        for job in jobs:
+            pool.tasks.put(("render", job))
+        states, done = _collect_cold(pool, jobs, pairs, placements,
+                                     store, spec, transport)
+        merged = {pair: PartialSetProfile.empty(*pair) for pair in pairs}
+        for index in range(n_ranges):
+            for pair in pairs:
+                merged[pair] = merged[pair].merge(states[index][pair])
+        _publish_assembled(store, spec, done, n_ranges)
+    return merged
+
+
+def _collect_cold(pool, jobs, pairs, placements, store, spec,
+                  transport) -> tuple:
+    """Drain the event queue until every range is done and fully
+    folded.  State transport: ranges arrive pre-folded.  Shm/store:
+    the parent folds each range's blocks in order as they arrive
+    (shared memory) or as their part files land (readiness polling)."""
+    from .streaming import _fold_block_into
+    shared_memory = _shm_module()
+    n_ranges = len(jobs)
+    states = {index: {pair: PartialSetProfile.empty(*pair)
+                      for pair in pairs} for index in range(n_ranges)}
+    folded = {index: 0 for index in range(n_ranges)}
+    done: dict = {}
+    pending = (ChunkedRenderReader.pending(store, spec)
+               if transport == "store" else None)
+
+    def fold_block(index, block):
+        _fold_block_into(states[index], block.byte_addresses(placements))
+        folded[index] += 1
+
+    last_progress = time.monotonic()
+    while not (len(done) == n_ranges
+               and all(folded[r] == done[r]["n_blocks"] for r in done)):
+        progressed = False
+        try:
+            message = pool.events.get(timeout=EVENT_POLL_S)
+        except Empty:
+            message = None
+        if message is not None:
+            kind = message[0]
+            if kind == "error":
+                raise PipelineError(
+                    f"stream worker failed:\n{message[2]}")
+            if kind == "block":
+                _, index, sequence, descriptor = message
+                if sequence != folded[index]:
+                    _discard_segment(descriptor)
+                    raise PipelineError(
+                        f"range {index} block {sequence} arrived at "
+                        f"fold position {folded[index]}")
+                _consume_shm_block(shared_memory, descriptor,
+                                   lambda block: fold_block(index, block))
+                progressed = True
+            elif kind == "range_done":
+                payload = message[2]
+                worker_states = payload.pop("states", None)
+                if worker_states is not None:
+                    # State transport: the worker already folded its
+                    # range's blocks inline; nothing left to consume.
+                    states[message[1]] = worker_states
+                    folded[message[1]] = payload["n_blocks"]
+                done[message[1]] = payload
+                progressed = True
+            else:
+                raise PipelineError(
+                    f"unexpected {kind!r} event in cold fold")
+        if pending is not None:
+            for job in jobs:
+                index = job["range"]
+                if index in done and folded[index] >= \
+                        done[index]["n_blocks"]:
+                    continue
+                while True:
+                    block = pending.poll_part(
+                        job["part_base"] + folded[index])
+                    if block is None:
+                        break
+                    fold_block(index, block)
+                    progressed = True
+        now = time.monotonic()
+        if progressed:
+            last_progress = now
+        elif message is None:
+            if not pool.alive():
+                raise PipelineError("stream pool worker died mid-render")
+            if now - last_progress > NO_PROGRESS_TIMEOUT_S:
+                raise PipelineError("pipelined cold fold stalled")
+    return states, done
+
+
+def _publish_assembled(store, spec, done, n_ranges) -> bool:
+    """Commit the sidecar over every range's parts, in range order,
+    renumbered densely -- but only when *all* ranges persisted
+    completely, so the artifact can never be partial."""
+    infos = [done[index] for index in range(n_ranges)]
+    if not store.available or not all(info["complete"] for info in infos):
+        return False
+    if any(len(info["envelopes"]) >= PART_STRIDE for info in infos):
+        return False  # would alias another range's index space
+    envelopes = [entry for info in infos for entry in info["envelopes"]]
+    renamed = store.renumber_parts(spec, envelopes)
+    if renamed is None:
+        return False
+    totals = dict(infos[0]["totals"])  # n_triangles_submitted is global
+    totals["n_triangles_rasterized"] = sum(
+        int(info["totals"]["n_triangles_rasterized"]) for info in infos)
+    totals["has_positions"] = any(
+        info["totals"].get("has_positions") for info in infos)
+    published = store.publish_chunked_sidecar(spec, renamed, totals)
+    if not published:
+        warnings.warn(
+            f"pipelined render for {spec.scene} persisted its parts but "
+            "could not publish the sidecar; the next run re-renders",
+            RuntimeWarning, stacklevel=4)
+    return published

@@ -256,25 +256,32 @@ class Engine:
         return self._streams[key]
 
     def streamed(self, trace_spec: TraceSpec, layout_spec,
-                 chunk_size: Optional[int] = None, shards: int = 0):
+                 chunk_size: Optional[int] = None, shards: int = 0,
+                 stream_workers: int = 0):
         """Constant-memory :class:`~repro.engine.streaming.StreamedProfiles`
         for (trace, layout), memoized.  Same profiles (bit for bit) as
         :meth:`streams`, computed as a fold over bounded fragment
-        blocks instead of materialized arrays."""
+        blocks instead of materialized arrays.  ``stream_workers >= 2``
+        runs the fold through the pipelined persistent pool
+        (:mod:`repro.engine.pipelined`): cold renders are partitioned
+        across workers and folded as they stream back."""
         from .streaming import DEFAULT_CHUNK_SIZE, StreamedProfiles
         chunk = int(chunk_size) if chunk_size else DEFAULT_CHUNK_SIZE
-        key = (trace_spec, tuple(layout_spec), chunk, int(shards))
+        key = (trace_spec, tuple(layout_spec), chunk, int(shards),
+               int(stream_workers))
         if key not in self._streamed:
             self._streamed[key] = StreamedProfiles(
                 self.store, trace_spec, layout_spec,
-                chunk_size=chunk, shards=int(shards))
+                chunk_size=chunk, shards=int(shards),
+                stream_workers=int(stream_workers))
         return self._streamed[key]
 
     # -- experiment execution --------------------------------------------
 
     def run(self, experiment: ExperimentSpec, workers: int = 0,
             kernel: str = "vectorized", chunk_size: Optional[int] = None,
-            shards: int = 0) -> "ExperimentResult":
+            shards: int = 0, stream_workers: int = 0,
+            audit_parts: int = 0) -> "ExperimentResult":
         """Execute every cell of ``experiment``.
 
         ``workers > 1`` warms the store's render/address/profile
@@ -291,34 +298,56 @@ class Engine:
         to the streaming fold (:mod:`repro.engine.streaming`): the
         trace is never materialized, peak memory is bounded by the
         chunk size independent of trace length, and ``shards`` fans
-        the fold over a process pool.  Streaming produces bit-identical
-        rows and requires the vectorized kernel (the reference
-        simulator needs the in-RAM stream).
+        the fold over a process pool.  ``stream_workers >= 2``
+        pipelines the fold instead (:mod:`repro.engine.pipelined`):
+        cold renders are partitioned across a persistent worker pool
+        and folded as blocks stream back through shared memory.
+        Streaming produces bit-identical rows and requires the
+        vectorized kernel (the reference simulator needs the in-RAM
+        stream).
+
+        ``audit_parts = N`` additionally replays N sampled parts of
+        every streamed trace through the sequential reference oracle
+        (:meth:`~repro.engine.streaming.StreamedProfiles.audit`),
+        raising on any per-access disagreement with the folded
+        profiles; the reports land on
+        :attr:`ExperimentResult.audit_reports`.
         """
         check_kernel(kernel)
-        # Any shard request counts as streaming (a single shard folds
-        # serially) so shards + reference fails loudly instead of
-        # silently running the non-streamed vectorized path.
-        streaming = bool(chunk_size) or shards > 0
+        # Any shard/pipeline request counts as streaming (a single
+        # shard folds serially) so combining one with the reference
+        # kernel fails loudly instead of silently running the
+        # non-streamed vectorized path.
+        streaming = bool(chunk_size) or shards > 0 or stream_workers > 0
         if streaming and kernel != "vectorized":
             raise ValueError(
-                "streaming execution (chunk_size/shards) requires the "
-                "vectorized kernel; the reference simulator replays the "
-                "materialized stream")
+                "streaming execution (chunk_size/shards/stream_workers) "
+                "requires the vectorized kernel; the reference simulator "
+                "replays the materialized stream")
+        if audit_parts and not streaming:
+            raise ValueError(
+                "audit_parts spot-audits the streaming fold; enable "
+                "streaming (chunk_size/shards/stream_workers) to use it")
         warm_report = None
         if workers and workers > 1:
             warm_report = self._warm_parallel(experiment, workers)
             self.last_warm_report = warm_report
         rows = []
+        audit_reports = []
         for trace_spec in experiment.trace_specs():
             for layout_spec in experiment.layouts:
                 if streaming:
                     streams = self.streamed(trace_spec, layout_spec,
                                             chunk_size=chunk_size,
-                                            shards=shards)
+                                            shards=shards,
+                                            stream_workers=stream_workers)
                     # One pass over the blocks computes the whole
                     # grid's profiles (instead of one pass per pair).
                     streams.prefetch(_profile_pairs(experiment))
+                    if audit_parts:
+                        audit_reports.append(streams.audit(
+                            _profile_pairs(experiment),
+                            parts=audit_parts))
                 else:
                     streams = self.streams(trace_spec, layout_spec)
                 for line_size in experiment.line_sizes:
@@ -327,7 +356,8 @@ class Engine:
                             trace_spec, layout_spec, streams, line_size,
                             assoc, experiment.cache_sizes, kernel))
         return ExperimentResult(spec=experiment, rows=rows,
-                                warm_report=warm_report)
+                                warm_report=warm_report,
+                                audit_reports=tuple(audit_reports))
 
     def _sweep_sizes(self, trace_spec, layout_spec, streams, line_size,
                      assoc, cache_sizes, kernel: str = "vectorized") -> list:
@@ -498,6 +528,9 @@ class ExperimentResult:
     spec: ExperimentSpec
     rows: list
     warm_report: Optional[WarmReport] = field(default=None)
+    #: One :class:`~repro.engine.streaming.StreamAuditReport` per
+    #: streamed (trace, layout) pair when ``audit_parts`` was set.
+    audit_reports: tuple = ()
 
     def select(self, **criteria) -> list:
         """Rows matching the given field/config values, e.g.
@@ -526,10 +559,14 @@ def run_experiment(experiment: ExperimentSpec,
                    workers: int = 0,
                    kernel: str = "vectorized",
                    chunk_size: Optional[int] = None,
-                   shards: int = 0) -> ExperimentResult:
+                   shards: int = 0,
+                   stream_workers: int = 0,
+                   audit_parts: int = 0) -> ExperimentResult:
     """Convenience wrapper: run ``experiment`` on ``engine`` (or a
     fresh one over ``store``)."""
     if engine is None:
         engine = Engine(store=store)
     return engine.run(experiment, workers=workers, kernel=kernel,
-                      chunk_size=chunk_size, shards=shards)
+                      chunk_size=chunk_size, shards=shards,
+                      stream_workers=stream_workers,
+                      audit_parts=audit_parts)

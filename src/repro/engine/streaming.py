@@ -30,7 +30,9 @@ order, so the sharded result is bit-identical too.
 
 from __future__ import annotations
 
+import os
 import warnings
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -43,7 +45,12 @@ from ..core.cache import (
     to_lines,
 )
 from ..core.classify import classify_misses
-from ..core.kernels import PartialSetProfile, SetDistanceProfile
+from ..core.kernels import (
+    PartialSetProfile,
+    SetDistanceProfile,
+    per_set_distances,
+    previous_occurrences,
+)
 from ..core.stackdist import DistanceProfile
 from ..pipeline.renderer import render_trace_blocks
 from ..pipeline.trace import iter_blocks
@@ -68,16 +75,22 @@ def _build_scene(spec: TraceSpec):
 
 def _fold_block_into(states: dict, addresses: np.ndarray) -> None:
     """Merge one block's addresses into every ``(line_size, n_sets)``
-    partial state, sharing the line reduction per line size."""
+    partial state, sharing the line reduction, the consecutive-run
+    collapse and the previous-occurrence argsort per line size."""
     by_line_size = {}
     for line_size, n_sets in states:
         by_line_size.setdefault(line_size, []).append(n_sets)
     for line_size, set_counts in by_line_size.items():
         lines = to_lines(addresses, line_size)
+        if len(lines) == 0:
+            continue
+        run_lines, duplicate_hits = collapse_consecutive(lines)
+        prev = previous_occurrences(run_lines)
         for n_sets in set_counts:
             key = (line_size, n_sets)
-            states[key] = states[key].merge(
-                PartialSetProfile.from_lines(lines, line_size, n_sets))
+            states[key] = states[key].merge(PartialSetProfile.from_runs(
+                run_lines, prev, duplicate_hits, len(lines),
+                line_size, n_sets))
 
 
 def _shard_fold_task(task) -> dict:
@@ -98,6 +111,45 @@ def _shard_fold_task(task) -> dict:
     return states
 
 
+class StreamingAuditError(RuntimeError):
+    """A spot-audited part disagreed with the sequential reference
+    oracle (or the folded profile disagreed with the trace totals)."""
+
+
+@dataclass(frozen=True)
+class StreamAuditReport:
+    """What one streamed spot audit checked (it raises on failure)."""
+
+    parts: tuple        # sampled part indices
+    n_parts: int        # parts in the chunked trace
+    pairs: tuple        # audited (line_size, n_sets) pairs
+    accesses: int       # texel accesses replayed through the oracle
+
+
+def _sequential_set_distances(run_lines, n_sets: int) -> tuple:
+    """Per-access LRU stack distances of a collapsed run stream by the
+    obvious sequential walk (one MRU-first list per set) -- the oracle
+    the streamed spot audit replays against the vectorized kernel.
+    Returns ``(distances, cold)`` matching
+    :func:`~repro.core.kernels.per_set_distances` (distance values on
+    cold accesses are unspecified there, so compare warm slots only).
+    """
+    distances = np.zeros(len(run_lines), dtype=np.int64)
+    cold = np.zeros(len(run_lines), dtype=bool)
+    stacks: dict = {}
+    for position, line in enumerate(map(int, run_lines)):
+        stack = stacks.setdefault(line % n_sets, [])
+        try:
+            depth = stack.index(line)
+        except ValueError:
+            cold[position] = True
+        else:
+            distances[position] = depth + 1
+            del stack[depth]
+        stack.insert(0, line)
+    return distances, cold
+
+
 class StreamedProfiles:
     """Distance profiles for one ``(trace, layout)`` computed as a
     constant-memory fold over fragment blocks.
@@ -111,7 +163,7 @@ class StreamedProfiles:
 
     def __init__(self, store: Optional[ArtifactStore], trace_spec: TraceSpec,
                  layout_spec, chunk_size: int = DEFAULT_CHUNK_SIZE,
-                 shards: int = 0):
+                 shards: int = 0, stream_workers: int = 0):
         if chunk_size < 1:
             raise ValueError("chunk_size must be positive")
         self.store = store if store is not None else ArtifactStore()
@@ -119,6 +171,7 @@ class StreamedProfiles:
         self.layout_spec = tuple(layout_spec)
         self.chunk_size = int(chunk_size)
         self.shards = int(shards)
+        self.stream_workers = int(stream_workers)
         self._payload = addresses_payload(trace_spec, self.layout_spec)
         self._profiles = {}
         self._set_profiles = {}
@@ -201,6 +254,15 @@ class StreamedProfiles:
             self._set_profiles[pair] = profile
 
     def _fold(self, pairs) -> dict:
+        if self.stream_workers > 1:
+            from . import pipelined
+            try:
+                return pipelined.fold_pipelined(self, pairs)
+            except pipelined.PipelineError as fault:
+                warnings.warn(
+                    f"pipelined streaming fold failed ({fault}); "
+                    "falling back to the serial streaming path",
+                    RuntimeWarning, stacklevel=3)
         if self.shards > 1:
             reader = self._ensure_chunked()
             if reader is not None and len(reader) > 1:
@@ -225,7 +287,11 @@ class StreamedProfiles:
         tasks = [(str(self.store.root), self.trace_spec, self.layout_spec,
                   int(lo), int(hi), tuple(pairs))
                  for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
-        with multiprocessing.Pool(processes=len(tasks)) as pool:
+        # Cap the pool at the machine: shards partition work, not
+        # processes, and oversubscribing cores with one process per
+        # shard only adds fork/teardown cost.
+        processes = min(len(tasks), os.cpu_count() or 1)
+        with multiprocessing.Pool(processes=processes) as pool:
             results = pool.map(_shard_fold_task, tasks)
         # merge() is associative and exact, so folding the per-shard
         # states in part order reproduces the serial fold bit for bit.
@@ -234,6 +300,96 @@ class StreamedProfiles:
             for pair in pairs:
                 states[pair] = states[pair].merge(shard_states[pair])
         return states
+
+    # -- spot audit --------------------------------------------------------
+
+    def audit(self, pairs, parts: int = 2) -> StreamAuditReport:
+        """Replay ``parts`` evenly-sampled chunks of the trace through
+        the sequential reference oracle and assert, per access, that
+        the vectorized fold agrees.
+
+        Streaming refuses the reference kernel (it needs the
+        materialized stream), so this is the scoped substitute: for
+        each sampled part and each ``(line_size, n_sets)`` pair it
+        checks (1) the vectorized per-access stack distances and cold
+        masks against a sequential per-set LRU walk, (2) the part's
+        :class:`~repro.core.kernels.PartialSetProfile` against the
+        oracle's histogram, and (3) the folded profile's access total
+        against the chunked trace's counters.  Raises
+        :class:`StreamingAuditError` on the first disagreement;
+        returns a :class:`StreamAuditReport` describing the sample.
+        """
+        pairs = sorted({(int(line_size), int(n_sets))
+                        for line_size, n_sets in pairs})
+        if not pairs:
+            raise ValueError("audit needs at least one pair")
+        reader = self._ensure_chunked()
+        if reader is None:
+            raise StreamingAuditError(
+                "spot audit needs the chunked trace in the store "
+                "(store demoted?)")
+        n_parts = len(reader)
+        sampled = sorted({int(index) for index in np.linspace(
+            0, n_parts - 1, max(1, min(int(parts), n_parts)))})
+        by_line_size = {}
+        for line_size, n_sets in pairs:
+            by_line_size.setdefault(line_size, []).append(n_sets)
+        accesses = 0
+        texels_per_access = None
+        for part_index in sampled:
+            block = reader.read_part(part_index)
+            addresses = block.byte_addresses(self._placed())
+            if block.n_accesses:
+                texels_per_access = len(addresses) // int(block.n_accesses)
+            for line_size, set_counts in by_line_size.items():
+                lines = to_lines(addresses, line_size)
+                run_lines, duplicate_hits = collapse_consecutive(lines)
+                for n_sets in set_counts:
+                    self._audit_part(part_index, lines, run_lines,
+                                     duplicate_hits, line_size, n_sets)
+            accesses += int(block.n_accesses)
+        for line_size, n_sets in pairs:
+            profile = self.set_profile(line_size, n_sets)
+            if texels_per_access and profile.total_accesses != \
+                    texels_per_access * reader.n_accesses:
+                raise StreamingAuditError(
+                    f"folded ({line_size}B, {n_sets} sets) profile "
+                    f"covers {profile.total_accesses} accesses; the "
+                    f"chunked trace implies "
+                    f"{texels_per_access * reader.n_accesses}")
+        return StreamAuditReport(parts=tuple(sampled), n_parts=n_parts,
+                                 pairs=tuple(pairs), accesses=accesses)
+
+    def _audit_part(self, part_index, lines, run_lines, duplicate_hits,
+                    line_size, n_sets) -> None:
+        """One part x one pair: vectorized kernel vs sequential walk."""
+        label = f"part {part_index}, ({line_size}B, {n_sets} sets)"
+        vec_distances, vec_cold = per_set_distances(run_lines, n_sets)
+        ref_distances, ref_cold = _sequential_set_distances(
+            run_lines, n_sets)
+        if not np.array_equal(vec_cold, ref_cold):
+            raise StreamingAuditError(
+                f"{label}: cold-access mask disagrees with the "
+                "sequential oracle")
+        if not np.array_equal(vec_distances[~vec_cold],
+                              ref_distances[~ref_cold]):
+            raise StreamingAuditError(
+                f"{label}: per-access stack distances disagree with "
+                "the sequential oracle")
+        partial = PartialSetProfile.from_lines(lines, line_size, n_sets)
+        warm = ref_distances[~ref_cold]
+        counts = (np.bincount(warm) if len(warm)
+                  else np.zeros(1, dtype=np.int64))
+        nonzero = np.flatnonzero(counts)
+        counts = (counts[:int(nonzero[-1]) + 1] if len(nonzero)
+                  else np.zeros(1, dtype=np.int64))
+        if not np.array_equal(partial.counts, counts) \
+                or partial.duplicate_hits != duplicate_hits \
+                or len(partial.open_lines) != int(ref_cold.sum()) \
+                or partial.total_accesses != len(lines):
+            raise StreamingAuditError(
+                f"{label}: partial profile disagrees with the "
+                "sequential oracle's histogram")
 
     # -- block sources -----------------------------------------------------
 

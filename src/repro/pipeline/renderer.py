@@ -412,7 +412,8 @@ class Renderer:
 
     # -- streaming (block) path ------------------------------------------
 
-    def render_blocks(self, scene, chunk_size: int, totals: dict = None):
+    def render_blocks(self, scene, chunk_size: int, totals: dict = None,
+                      triangle_slice: tuple = None):
         """Render ``scene`` as a stream of :class:`FragmentBlock`
         chunks of at most ``chunk_size`` accesses each, cut at
         fragment boundaries.
@@ -426,11 +427,22 @@ class Renderer:
         partitioned.  Peak memory is bounded by the chunk size (plus
         one triangle batch), never the frame.
 
+        ``triangle_slice=(index, count)`` renders only the ``index``-th
+        of ``count`` equal contiguous slices of the clipped triangle
+        range (the deterministic partition the pipelined streaming
+        pool fans out).  Slice bounds depend only on the clipped
+        triangle count, so every worker derives the same partition
+        independently, and concatenating the slices' block streams in
+        slice order is bit-identical to the unsliced stream.
+
         Streaming skips the framebuffer (construct the renderer with
         ``produce_image=False``); pass ``totals`` (a dict) to receive
         the frame summary -- ``n_fragments``, ``n_triangles_submitted``,
         ``n_triangles_rasterized``, ``per_triangle_fragments`` -- once
-        the generator is exhausted.
+        the generator is exhausted.  With a ``triangle_slice`` the
+        fragment/rasterized counters cover only the slice (they sum to
+        the frame totals across slices); ``n_triangles_submitted``
+        stays frame-global.
         """
         if chunk_size < 1:
             raise ValueError("chunk_size must be positive")
@@ -441,39 +453,44 @@ class Renderer:
         timers = _PhaseTimers()
         mipmaps, clipped, texture_ids, screen, ndc_z, inv_w, _ = \
             self._prepare(scene, timers)
+        lo, hi = triangle_slice_bounds(clipped.n_triangles, triangle_slice)
         per_triangle = np.zeros(clipped.n_triangles, dtype=np.int64)
         if self.raster == "batched":
             chunks = self._batched_chunk_traces(
                 mipmaps, clipped, texture_ids, screen, ndc_z, inv_w,
-                scene.width, scene.height, chunk_size, per_triangle)
+                scene.width, scene.height, chunk_size, per_triangle,
+                lo, hi)
         else:
             chunks = self._reference_chunk_traces(
                 mipmaps, clipped, texture_ids, screen, ndc_z, inv_w,
-                scene.width, scene.height, per_triangle)
+                scene.width, scene.height, per_triangle, lo, hi)
         accumulator = _BlockAccumulator(chunk_size)
         for trace, starts in chunks:
             accumulator.add(trace, starts)
             yield from accumulator.drain()
         yield from accumulator.drain(final=True)
         if totals is not None:
+            sliced = per_triangle[lo:hi]
             totals.update(
-                n_fragments=int(per_triangle.sum()),
+                n_fragments=int(sliced.sum()),
                 n_triangles_submitted=scene.mesh.n_triangles,
-                n_triangles_rasterized=int((per_triangle > 0).sum()),
+                n_triangles_rasterized=int((sliced > 0).sum()),
                 per_triangle_fragments=per_triangle,
             )
 
     def _batched_chunk_traces(self, mipmaps, clipped, texture_ids,
                               screen, ndc_z, inv_w, width, height,
-                              chunk_size, per_triangle):
+                              chunk_size, per_triangle, lo=0, hi=None):
         """Yield ``(chunk trace, fragment start indices)`` for
         contiguous submission-order triangle ranges, sized adaptively
-        so each range generates roughly ``chunk_size`` accesses."""
+        so each range generates roughly ``chunk_size`` accesses.
+        ``[lo, hi)`` restricts the walk to a contiguous clipped-triangle
+        slice (the pipelined streaming partition)."""
         uv = clipped.attrs[:, :, :2]
         level0 = np.array([mipmap.level_shape(0) for mipmap in mipmaps],
                           dtype=np.int64).reshape(-1, 2)
-        m = clipped.n_triangles
-        begin = 0
+        m = clipped.n_triangles if hi is None else hi
+        begin = lo
         guess = 256
         seen_triangles = 0
         seen_accesses = 0
@@ -513,9 +530,10 @@ class Renderer:
 
     def _reference_chunk_traces(self, mipmaps, clipped, texture_ids,
                                 screen, ndc_z, inv_w, width, height,
-                                per_triangle):
+                                per_triangle, lo=0, hi=None):
         """Per-triangle oracle twin of :meth:`_batched_chunk_traces`."""
-        for index in range(clipped.n_triangles):
+        hi = clipped.n_triangles if hi is None else hi
+        for index in range(lo, hi):
             texture_id = int(texture_ids[index])
             mipmap = mipmaps[texture_id]
             uv = clipped.attrs[index, :, :2]
@@ -539,6 +557,20 @@ class Renderer:
                 builder.append(texture_id, accesses, batch.n_fragments)
             yield builder.build(), _fragment_start_indices(
                 accesses.fragment_index)
+
+
+def triangle_slice_bounds(n_triangles: int, triangle_slice: tuple = None):
+    """The ``[lo, hi)`` clipped-triangle bounds of one slice of an
+    ``(index, count)`` equal partition -- the deterministic contract
+    between the pipelined streaming pool's workers, who each derive
+    their own bounds from nothing but the clipped triangle count."""
+    if triangle_slice is None:
+        return 0, n_triangles
+    index, count = int(triangle_slice[0]), int(triangle_slice[1])
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(f"bad triangle slice {triangle_slice!r}")
+    bounds = np.linspace(0, n_triangles, count + 1).astype(np.int64)
+    return int(bounds[index]), int(bounds[index + 1])
 
 
 def _fragment_start_indices(fragment_index: np.ndarray) -> np.ndarray:
@@ -647,9 +679,10 @@ def render_trace(scene, order: TraversalOrder = None,
 
 def render_trace_blocks(scene, chunk_size: int, order: TraversalOrder = None,
                         raster: str = "batched", totals: dict = None,
-                        **renderer_kwargs):
+                        triangle_slice: tuple = None, **renderer_kwargs):
     """Convenience: stream ``scene``'s trace as
     :class:`FragmentBlock` chunks (no image)."""
     renderer = Renderer(order=order, produce_image=False, raster=raster,
                         **renderer_kwargs)
-    return renderer.render_blocks(scene, chunk_size, totals=totals)
+    return renderer.render_blocks(scene, chunk_size, totals=totals,
+                                  triangle_slice=triangle_slice)

@@ -30,8 +30,16 @@ FORMAT_VERSION = 1
 PART_DIGITS = 5
 
 
-def save_trace(path: str, trace: TexelTrace) -> None:
-    """Write ``trace`` to ``path`` (conventionally ``*.trace.npz``)."""
+def save_trace(path: str, trace: TexelTrace, compress: bool = True) -> None:
+    """Write ``trace`` to ``path`` (conventionally ``*.trace.npz``).
+
+    ``compress=False`` writes a stored (deflate-free) npz: byte for
+    byte larger on disk but an order of magnitude cheaper to encode.
+    Streaming part files use it -- zlib dominated the cold streamed
+    path, and parts are integrity-checked by their envelope's SHA-256
+    rather than by the container.  :func:`load_trace` reads either
+    encoding transparently.
+    """
     columns = {
         "texture_id": trace.texture_id,
         "level": trace.level,
@@ -46,7 +54,7 @@ def save_trace(path: str, trace: TexelTrace) -> None:
     if trace.has_positions:
         columns["x"] = trace.x
         columns["y"] = trace.y
-    np.savez_compressed(path, **columns)
+    (np.savez_compressed if compress else np.savez)(path, **columns)
 
 
 def load_trace(path: str) -> TexelTrace:

@@ -121,10 +121,23 @@ class AddressMapper:
         if n == 0:
             return addresses
         group_key = texture_id.astype(np.int64) * _LEVEL_STRIDE + level
-        order = np.argsort(group_key, kind="stable")
+        # Group keys are bounded by textures * 64 levels, far below
+        # 2**16, so numpy's radix sort applies (stable mergesort on
+        # int64 keys cost several times more and dominated mapping).
+        from ..core.kernels import _argsort_bounded
+        order = _argsort_bounded(group_key,
+                                 len(self.placements) * _LEVEL_STRIDE)
         sorted_key = group_key[order]
         starts = np.flatnonzero(
             np.concatenate(([True], sorted_key[1:] != sorted_key[:-1])))
+        if len(starts) == 1:
+            # One (texture, level) group: the gather/scatter through
+            # ``order`` would be the identity permutation's worth of
+            # work, and per-element address formulas make it a no-op.
+            texture, level_index = divmod(int(sorted_key[0]), _LEVEL_STRIDE)
+            addresses[...] = self.placements[texture].addresses(
+                level_index, tu, tv)
+            return addresses
         bounds = np.append(starts, n)
         for begin, end in zip(bounds[:-1], bounds[1:]):
             rows = order[begin:end]

@@ -30,12 +30,22 @@ def _lattice_noise(width: int, height: int, cell: int, rng: np.random.Generator)
     y0 = np.floor(ys).astype(int)
     x0 = np.floor(xs).astype(int)
     fy = (ys - y0)[:, None]
-    fx = (xs - x0)[None, :]
-    y0 = np.clip(y0, 0, gh - 2)[:, None]
-    x0 = np.clip(x0, 0, gw - 2)[None, :]
-    top = grid[y0, x0] * (1 - fx) + grid[y0, x0 + 1] * fx
-    bottom = grid[y0 + 1, x0] * (1 - fx) + grid[y0 + 1, x0 + 1] * fx
-    return top * (1 - fy) + bottom * fy
+    fx = xs - x0
+    y0 = np.clip(y0, 0, gh - 2)
+    x0 = np.clip(x0, 0, gw - 2)
+    # Separable evaluation: interpolate along x on the (small) lattice
+    # first, then gather and blend rows at full resolution.  Each output
+    # element is the same float expression as the naive 2-D gather
+    # (grid[y0, x0] * (1-fx) + ... per corner), so results are
+    # bit-identical, but the full-size work drops from four gathers and
+    # nine elementwise passes to two gathers and three passes.
+    xinterp = grid[:, x0] * (1 - fx) + grid[:, x0 + 1] * fx
+    out = xinterp[y0]
+    out *= 1 - fy
+    bottom = xinterp[y0 + 1]
+    bottom *= fy
+    out += bottom
+    return out
 
 
 def fractal_noise(
@@ -110,7 +120,7 @@ def brick(width: int, height: int, seed: int = 0, name: str = "brick") -> Textur
 def wood(width: int, height: int, seed: int = 0, name: str = "wood") -> TextureImage:
     """Wood-grain stand-in used by the Guitar scene."""
     noise = fractal_noise(width, height, octaves=4, seed=seed)
-    ys, xs = np.mgrid[0:height, 0:width]
+    xs = np.arange(width)[None, :]
     rings = np.sin((xs / width * 18.0 + 4.0 * noise) * np.pi)
     shade = 0.5 + 0.5 * rings
     rgb = np.empty((height, width, 3))
@@ -123,7 +133,7 @@ def wood(width: int, height: int, seed: int = 0, name: str = "wood") -> TextureI
 def marble(width: int, height: int, seed: int = 0, name: str = "marble") -> TextureImage:
     """Marble stand-in used by the Goblet scene."""
     noise = fractal_noise(width, height, octaves=5, seed=seed)
-    ys, xs = np.mgrid[0:height, 0:width]
+    ys = np.arange(height)[:, None]
     veins = np.abs(np.sin((ys / height * 6.0 + 5.0 * noise) * np.pi))
     shade = 1.0 - 0.7 * veins**3
     rgb = np.empty((height, width, 3))

@@ -210,6 +210,19 @@ class TestEngineRunStreaming:
             assert np.array_equal(got_runs, want_runs)
             assert got_dup == want_dup
 
+    def test_pipelined_run_bit_identical(self, tmp_path):
+        from repro.engine import shutdown_stream_pool
+        exp = ExperimentSpec(**self.GRID)
+        ram = Engine(store=ArtifactStore(tmp_path / "a")).run(exp)
+        try:
+            piped = Engine(store=ArtifactStore(tmp_path / "b")).run(
+                exp, chunk_size=4096, stream_workers=2)
+        finally:
+            shutdown_stream_pool()
+        assert self.rows(ram) == self.rows(piped)
+        store = ArtifactStore(tmp_path / "b")
+        assert store.open_render_blocks(exp.trace_specs()[0]) is not None
+
     def test_single_shard_streams(self, tmp_path):
         exp = ExperimentSpec(**self.GRID)
         ram = Engine(store=ArtifactStore(tmp_path / "a")).run(exp)
