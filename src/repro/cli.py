@@ -162,6 +162,25 @@ def _trace_spec(args, record_positions: bool = False) -> TraceSpec:
     )
 
 
+def _print_recovery(stream_report, store=None) -> None:
+    """Surface degraded-run evidence (pipelined recoveries, store
+    demotions/quarantines) in command summaries instead of leaving
+    them as RuntimeWarnings scrolled off the screen."""
+    if stream_report is not None and not stream_report.clean:
+        print(f"note: {stream_report.summary()}")
+        for event in stream_report.events[:8]:
+            print(f"  recovery: {event}")
+        hidden = len(stream_report.events) - 8
+        if hidden > 0:
+            print(f"  ... and {hidden} more recovery event(s)")
+    events = getattr(store, "recovery_events", None) or ()
+    if events:
+        print(f"note: the artifact store degraded during this run "
+              f"({len(events)} event(s)):")
+        for event in events[:8]:
+            print(f"  store: {event}")
+
+
 def _render(args) -> int:
     engine = Engine()
     spec = _trace_spec(args)
@@ -188,6 +207,7 @@ def _render(args) -> int:
         for phase, ms in result.phase_ms.items():
             print(f"  {phase:11s} {ms:8.1f} ms")
         print(f"  {'total':11s} {total:8.1f} ms")
+    _print_recovery(None, engine.store)
     return 0
 
 
@@ -233,6 +253,9 @@ def _simulate(args) -> int:
     print(f"  bandwidth       {mbytes_per_second(bandwidth):.0f} MB/s at 50M "
           f"fragments/s ({uncached_bandwidth() / max(bandwidth, 1e-9):.1f}x "
           "less than uncached)")
+    if _streaming_requested(args):
+        _print_recovery(getattr(streams, "stream_report", None),
+                        engine.store)
     return 0
 
 
@@ -285,6 +308,7 @@ def _sweep(args) -> int:
                            title=f"{args.scene}, {layout_name}, "
                                  f"{args.cache_size // 1024}KB, "
                                  f"{args.line_size}B lines"))
+    _print_recovery(result.stream_report, engine.store)
     return 0
 
 
@@ -408,6 +432,8 @@ def _timing(args) -> int:
         print(f"  fragment rate   {result.fragments_per_second / 1e6:.1f}M/s "
               f"({100 * result.efficiency:.1f}% of the stall-free "
               "pipeline)")
+    _print_recovery(getattr(engine, "last_stream_report", None),
+                    engine.store)
     return 0
 
 
@@ -434,16 +460,21 @@ def _cache(args) -> int:
             print(f"note: {report['orphaned_parts']} orphaned chunked-trace "
                   "part(s) from interrupted streaming writers; "
                   "`repro cache repair` purges stale ones")
+        if report["resumable_parts"]:
+            print(f"note: {report['resumable_parts']} resumable part(s) "
+                  "from an interrupted pipelined run; the next cold fold "
+                  "resumes from them instead of re-rendering")
         if report["quarantined"]:
             print(f"note: {report['quarantined']} file(s) in quarantine/ "
                   "(see the *.reason.json records alongside them)")
     elif args.action == "verify":
         report = store.verify()
         rows = [[kind, entry["ok"], len(entry["bad"]), entry["pending"],
-                 len(entry["tmp"]), len(entry["orphaned_parts"])]
+                 len(entry["tmp"]), len(entry["orphaned_parts"]),
+                 len(entry["resumable"])]
                 for kind, entry in report["kinds"].items()]
         print(format_table(["artifact kind", "ok", "bad", "pending", "tmp",
-                            "orphaned parts"], rows,
+                            "orphaned parts", "resumable"], rows,
                            title=f"integrity scan of {report['root']}"))
         for kind, entry in report["kinds"].items():
             for problem in entry["bad"]:
@@ -454,6 +485,11 @@ def _cache(args) -> int:
         if report["orphaned_parts"]:
             print(f"note: {report['orphaned_parts']} stale orphaned "
                   "chunked-trace part(s); `repro cache repair` purges them")
+        if report["resumable"]:
+            print(f"note: {report['resumable']} resumable part(s) from an "
+                  "interrupted pipelined run (verified against their "
+                  "completion records); the next cold fold resumes from "
+                  "them")
         if report["bad"]:
             print(f"{report['bad']} corrupt artifact(s); "
                   "run `repro cache repair` to quarantine them")
@@ -462,9 +498,13 @@ def _cache(args) -> int:
     elif args.action == "repair":
         report = store.repair()
         print(f"quarantined {len(report['quarantined'])} artifact(s), "
-              f"purged {len(report['purged_tmp'])} stale temp file(s) and "
-              f"{len(report['purged_parts'])} orphaned part file(s) "
+              f"purged {len(report['purged_tmp'])} stale temp file(s), "
+              f"{len(report['purged_parts'])} orphaned part file(s) and "
+              f"{len(report['purged_resume'])} stale resume record(s) "
               f"from {report['root']}")
+        if report["kept_resumable"]:
+            print(f"kept {report['kept_resumable']} resumable part(s) for "
+                  "the next pipelined fold to resume from")
         for name in report["quarantined"]:
             print(f"  quarantined {name}")
     else:  # clear

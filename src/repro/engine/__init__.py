@@ -62,6 +62,7 @@ from .streaming import (
 )
 from .pipelined import (
     PipelineError,
+    StreamReport,
     shutdown_stream_pool,
 )
 
@@ -96,5 +97,6 @@ __all__ = [
     "StreamingAuditError",
     "classify_streamed",
     "PipelineError",
+    "StreamReport",
     "shutdown_stream_pool",
 ]

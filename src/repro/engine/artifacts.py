@@ -120,6 +120,16 @@ LOCK_POLL_S = 0.05
 #: litter, like a stale ``*.tmp*``.
 _PART_STEM = re.compile(r"^([0-9a-f]{64})\.p(\d+)$")
 
+#: Crash-resume metadata of an interrupted pipelined render:
+#: ``<digest>.plan.json`` (the range plan written at dispatch) and
+#: ``<digest>.rNNNNN.done.json`` (one completion record per finished
+#: range).  Their presence marks the digest's strided orphan parts as
+#: *resumable* -- the next cold fold re-verifies and folds them warm
+#: instead of re-rendering -- so maintenance must not mistake them for
+#: damaged artifacts or purge the parts they cover.
+_RESUME_STEM = re.compile(r"^([0-9a-f]{64})\.(plan|r\d+\.done)$")
+_RANGE_RECORD_INDEX = re.compile(r"\.r(\d+)\.done\.json$")
+
 #: ``errno`` values that mean "the disk, not the data": the store
 #: demotes itself instead of failing the experiment.
 _UNAVAILABLE_ERRNOS = frozenset(
@@ -246,6 +256,20 @@ def _file_digest(path: Path) -> str:
     return digest.hexdigest()
 
 
+def load_part_block(root, name: str, index: int) -> FragmentBlock:
+    """Deserialize one chunked-trace part file into a
+    :class:`~repro.pipeline.trace.FragmentBlock` -- the loader shared
+    by :class:`ChunkedRenderReader` and the pipelined resume fold
+    (which works from range-record envelopes instead of a sidecar)."""
+    trace = traceio.load_trace(str(Path(root) / "traces" / name))
+    return FragmentBlock(
+        texture_id=trace.texture_id, level=trace.level,
+        tu=trace.tu, tv=trace.tv,
+        tu_raw=trace.tu_raw, tv_raw=trace.tv_raw,
+        kind=trace.kind, n_fragments=trace.n_fragments,
+        x=trace.x, y=trace.y, index=index)
+
+
 def _is_stale(path: Path, grace_s: float = TORN_GRACE_S) -> bool:
     """Whether ``path`` is old enough that no live writer can still be
     mid-publish around it."""
@@ -268,6 +292,14 @@ class ArtifactStore:
         self.root = Path(root) if root is not None else default_cache_dir()
         self._demoted = False
         self._demotion_reason: Optional[str] = None
+        #: Human-readable degradation log (demotions, quarantines) so
+        #: CLI summaries can surface what a run survived instead of
+        #: burying it in RuntimeWarnings.  Bounded; newest last.
+        self.recovery_events: list = []
+
+    def _note_recovery(self, event: str) -> None:
+        if len(self.recovery_events) < 100:
+            self.recovery_events.append(event)
 
     def _path(self, kind: str, digest: str, suffix: str) -> Path:
         return self.root / kind / (digest + suffix)
@@ -282,6 +314,7 @@ class ArtifactStore:
     def _demote(self, fault: StoreUnavailable) -> None:
         self._demoted = True
         self._demotion_reason = str(fault)
+        self._note_recovery(f"store demoted to in-memory mode: {fault}")
         warnings.warn(
             f"artifact store at {self.root} is unavailable "
             f"({fault}); continuing without persistence -- results are "
@@ -419,6 +452,8 @@ class ArtifactStore:
         a ``<digest>.reason.json`` record.  Best-effort: on an
         unwritable store the damage stays in place and keeps reading as
         a miss."""
+        self._note_recovery(
+            f"quarantined {kind}/{digest[:12]}…: {reason}")
         target_dir = self.root / QUARANTINE_DIR / kind
         try:
             target_dir.mkdir(parents=True, exist_ok=True)
@@ -595,6 +630,107 @@ class ArtifactStore:
             renamed.append({**entry, "name": target.name})
         return renamed
 
+    # -- crash-resume metadata (interrupted pipelined renders) -----------
+
+    def save_stream_plan(self, spec: TraceSpec, plan: dict) -> bool:
+        """Record the range plan of a pipelined cold render before the
+        first block is dispatched: how the clipped-triangle space was
+        cut (``n_ranges``, ``chunk_size``, ``part_stride``).  A later
+        run killed mid-render re-reads this to reuse the *same* slicing
+        geometry, so surviving parts stay valid verbatim."""
+        digest = fingerprint(spec.payload())
+        meta = {"key": spec.payload(), **plan}
+        return self._guarded_write(lambda: _atomic_write(
+            self._path("traces", digest, ".plan.json"),
+            lambda temp: Path(temp).write_text(json.dumps(meta, indent=1))))
+
+    def load_stream_plan(self, spec: TraceSpec) -> Optional[dict]:
+        try:
+            return json.loads(
+                self._path("traces", fingerprint(spec.payload()),
+                           ".plan.json").read_text())
+        except (OSError, ValueError):
+            return None
+
+    def save_range_record(self, spec: TraceSpec, index: int,
+                          payload: dict) -> bool:
+        """Atomically record one completed range of a pipelined render:
+        its part envelopes and render totals.  The record is what makes
+        the range's strided parts *resumable* -- a future run verifies
+        the envelopes and folds the parts warm instead of re-rendering
+        the slice."""
+        digest = fingerprint(spec.payload())
+        return self._guarded_write(lambda: _atomic_write(
+            self._path("traces", digest, f".r{int(index):05d}.done.json"),
+            lambda temp: Path(temp).write_text(
+                json.dumps(payload, indent=1))))
+
+    def load_range_records(self, spec: TraceSpec) -> dict:
+        """``{range_index: record}`` for every readable completion
+        record of ``spec``'s interrupted render (unverified -- callers
+        check the envelopes against the parts on disk)."""
+        digest = fingerprint(spec.payload())
+        records: dict = {}
+        directory = self.root / "traces"
+        if not directory.is_dir():
+            return records
+        for path in sorted(directory.glob(digest + ".r*.done.json")):
+            match = _RANGE_RECORD_INDEX.search(path.name)
+            if match is None:
+                continue
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if isinstance(record, dict):
+                records[int(match.group(1))] = record
+        return records
+
+    def discard_range_record(self, spec: TraceSpec, index: int,
+                             part_names=()) -> None:
+        """Drop one range's stale completion record and (optionally)
+        the part files it claimed -- the record failed verification, so
+        the range re-renders from scratch."""
+        digest = fingerprint(spec.payload())
+        candidates = [self._path("traces", digest,
+                                 f".r{int(index):05d}.done.json")]
+        for name in part_names:
+            if isinstance(name, str) and os.sep not in name \
+                    and name.startswith(digest):
+                candidates.append(self.root / "traces" / name)
+        for path in candidates:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def discard_resume_state(self, spec: TraceSpec) -> None:
+        """Drop every resume-metadata file of ``spec`` (plan and range
+        records) -- called after the assembled artifact publishes, when
+        there is nothing left to resume.  Part files are not touched:
+        published ones belong to the artifact, unpublished ones age out
+        as orphan litter."""
+        digest = fingerprint(spec.payload())
+        directory = self.root / "traces"
+        if not directory.is_dir():
+            return
+        for path in [directory / (digest + ".plan.json"),
+                     *directory.glob(digest + ".r*.done.json")]:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def verify_part_list(self, kind: str, parts: list) -> bool:
+        """Whether every part envelope in ``parts`` matches the file on
+        disk (size and content digest) -- :meth:`_verify_parts` as a
+        predicate, for resume-record validation."""
+        try:
+            self._verify_parts(kind, parts)
+        except CorruptArtifact:
+            return False
+        return True
+
     def open_render_blocks(self, spec: TraceSpec):
         """A :class:`ChunkedRenderReader` over ``spec``'s chunked trace
         parts, or ``None`` when the store holds no chunked
@@ -715,14 +851,16 @@ class ArtifactStore:
     # -- maintenance -----------------------------------------------------
 
     def _scan_kind(self, kind: str):
-        """``(payloads, sidecar_stems, tmp_names, parts)`` for one
-        kind, tolerant of files vanishing mid-scan (concurrent
+        """``(payloads, sidecar_stems, tmp_names, parts, resume)`` for
+        one kind, tolerant of files vanishing mid-scan (concurrent
         ``clear()``).  ``parts`` maps each digest to its chunked part
-        files on disk (listed or not by any sidecar)."""
-        payloads, sidecars, tmp, parts = {}, set(), [], {}
+        files on disk (listed or not by any sidecar); ``resume`` maps
+        each digest to its crash-resume metadata files (plan and range
+        records), which must never be mistaken for artifact sidecars."""
+        payloads, sidecars, tmp, parts, resume = {}, set(), [], {}, {}
         directory = self.root / kind
         if not directory.is_dir():
-            return payloads, sidecars, tmp, parts
+            return payloads, sidecars, tmp, parts, resume
         for entry in sorted(directory.glob("*")):
             try:
                 if not entry.is_file():
@@ -731,15 +869,40 @@ class ArtifactStore:
             except OSError:
                 continue  # deleted between glob and stat: skip
             match = _PART_STEM.match(entry.stem)
+            resume_match = _RESUME_STEM.match(entry.stem)
             if ".tmp" in entry.name:
                 tmp.append(entry.name)
             elif match is not None and entry.suffix == ".npz":
                 parts.setdefault(match.group(1), []).append(entry)
+            elif resume_match is not None and entry.suffix == ".json":
+                resume.setdefault(resume_match.group(1), []).append(entry)
             elif entry.suffix == ".json":
                 sidecars.add(entry.stem)
             else:
                 payloads[entry.stem] = entry
-        return payloads, sidecars, tmp, parts
+        return payloads, sidecars, tmp, parts, resume
+
+    def _resumable_part_names(self, kind: str, resume_paths) -> set:
+        """Part names claimed by the readable range records among
+        ``resume_paths`` -- name-level only (cheap); deep envelope
+        verification happens in :meth:`verify` / at resume time."""
+        names = set()
+        for path in resume_paths:
+            if not path.name.endswith(".done.json"):
+                continue
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            envelopes = record.get("envelopes") \
+                if isinstance(record, dict) else None
+            if not isinstance(envelopes, list):
+                continue
+            for entry in envelopes:
+                if isinstance(entry, dict) and \
+                        isinstance(entry.get("name"), str):
+                    names.add(entry["name"])
+        return names
 
     def stats(self) -> dict:
         """Per-kind artifact counts and byte totals -- chunked trace
@@ -749,9 +912,11 @@ class ArtifactStore:
         report = {"root": str(self.root), "kinds": {}, "total_bytes": 0,
                   "total_files": 0, "tmp_files": 0,
                   "part_files": 0, "part_bytes": 0, "orphaned_parts": 0,
+                  "resumable_parts": 0,
                   "quarantined": self._count_quarantined()}
         for kind in KINDS:
-            payloads, sidecars, tmp_names, parts = self._scan_kind(kind)
+            payloads, sidecars, tmp_names, parts, resume = \
+                self._scan_kind(kind)
             files = nbytes = 0
             for entry in list(payloads.values()) + [
                     self._path(kind, stem, ".json") for stem in sidecars]:
@@ -761,9 +926,12 @@ class ArtifactStore:
                     continue  # vanished between glob and stat
                 files += 1
                 nbytes += size
-            part_files = part_bytes = orphaned = 0
+            part_files = part_bytes = orphaned = resumable = 0
             for digest, entries in parts.items():
                 listed = self._listed_part_names(kind, digest)
+                covered = (self._resumable_part_names(
+                    kind, resume.get(digest, ())) if digest in resume
+                    else set())
                 for part in entries:
                     try:
                         size = part.stat().st_size
@@ -771,18 +939,23 @@ class ArtifactStore:
                         continue
                     part_files += 1
                     part_bytes += size
-                    if listed is None or part.name not in listed:
+                    if listed is not None and part.name in listed:
+                        continue
+                    if part.name in covered:
+                        resumable += 1
+                    else:
                         orphaned += 1
             report["kinds"][kind] = {
                 "files": files, "bytes": nbytes, "tmp": len(tmp_names),
                 "parts": part_files, "part_bytes": part_bytes,
-                "orphaned_parts": orphaned}
+                "orphaned_parts": orphaned, "resumable_parts": resumable}
             report["total_files"] += files + part_files
             report["total_bytes"] += nbytes + part_bytes
             report["tmp_files"] += len(tmp_names)
             report["part_files"] += part_files
             report["part_bytes"] += part_bytes
             report["orphaned_parts"] += orphaned
+            report["resumable_parts"] += resumable
         return report
 
     def _count_quarantined(self) -> int:
@@ -804,14 +977,20 @@ class ArtifactStore:
         in-flight (younger than the grace window) torn states; ``tmp``
         lists temp-file litter; ``orphaned_parts`` lists stale part
         files no sidecar claims (litter, not corruption -- a streaming
-        writer died before publishing its sidecar)."""
+        writer died before publishing its sidecar); ``resumable`` lists
+        stale unlisted parts that an interrupted pipelined render's
+        completion records cover (envelope-verified) -- the next cold
+        fold resumes from them, so they are neither damage nor litter
+        and :meth:`repair` keeps them."""
         report = {"root": str(self.root), "kinds": {},
                   "ok": 0, "bad": 0, "pending": 0, "tmp": 0,
-                  "orphaned_parts": 0}
+                  "orphaned_parts": 0, "resumable": 0}
         for kind in KINDS:
-            payloads, sidecars, tmp_names, parts = self._scan_kind(kind)
+            payloads, sidecars, tmp_names, parts, resume = \
+                self._scan_kind(kind)
             entry = {"ok": 0, "bad": [], "pending": 0, "tmp": tmp_names,
-                     "orphaned_parts": []}
+                     "orphaned_parts": [], "resumable": [],
+                     "stale_resume": []}
             for stem in sorted(set(payloads) | sidecars):
                 path = payloads.get(stem, self._path(kind, stem, ".npz"))
                 sidecar = self._path(kind, stem, ".json")
@@ -827,13 +1006,41 @@ class ArtifactStore:
                                              "reason": str(fault)})
                 else:
                     entry["ok"] += 1
+            verified_resumable: dict = {}
+            for digest, meta_paths in resume.items():
+                covered: set = set()
+                for path in meta_paths:
+                    if not path.name.endswith(".done.json"):
+                        continue
+                    try:
+                        record = json.loads(path.read_text())
+                    except (OSError, ValueError):
+                        continue
+                    envelopes = record.get("envelopes") \
+                        if isinstance(record, dict) else None
+                    if isinstance(envelopes, list) \
+                            and self.verify_part_list(kind, envelopes):
+                        covered.update(
+                            item["name"] for item in envelopes
+                            if isinstance(item, dict)
+                            and isinstance(item.get("name"), str))
+                verified_resumable[digest] = covered
+                if digest in sidecars:
+                    # The artifact published; leftover resume metadata
+                    # is stale litter for repair() to purge.
+                    entry["stale_resume"].extend(
+                        path.name for path in meta_paths
+                        if _is_stale(path))
             for digest in sorted(parts):
                 listed = self._listed_part_names(kind, digest) or set()
+                covered = verified_resumable.get(digest, set())
                 for part in parts[digest]:
                     if part.name in listed:
                         continue  # accounted for by its artifact above
                     if not _is_stale(part):
                         entry["pending"] += 1
+                    elif part.name in covered:
+                        entry["resumable"].append(part.name)
                     else:
                         entry["orphaned_parts"].append(part.name)
             report["kinds"][kind] = entry
@@ -842,6 +1049,7 @@ class ArtifactStore:
             report["pending"] += entry["pending"]
             report["tmp"] += len(entry["tmp"])
             report["orphaned_parts"] += len(entry["orphaned_parts"])
+            report["resumable"] += len(entry["resumable"])
         report["clean"] = report["bad"] == 0
         return report
 
@@ -849,10 +1057,12 @@ class ArtifactStore:
         """Self-heal the store: quarantine every artifact that fails
         verification, purge stale ``*.tmp*`` litter left by killed
         writers and stale orphaned part files left by killed streaming
-        writers.  In-flight writes (within the grace window) are left
-        alone."""
+        writers.  In-flight writes (within the grace window) and
+        resumable parts of interrupted pipelined renders -- along with
+        the resume metadata that covers them -- are left alone; resume
+        metadata is only purged once its artifact has published."""
         scan = self.verify()
-        quarantined, purged, purged_parts = [], [], []
+        quarantined, purged, purged_parts, purged_resume = [], [], [], []
         for kind, entry in scan["kinds"].items():
             for problem in entry["bad"]:
                 digest = problem["file"].split(".", 1)[0]
@@ -874,8 +1084,16 @@ class ArtifactStore:
                 except OSError:
                     continue
                 purged_parts.append(f"{kind}/{name}")
+            for name in entry["stale_resume"]:
+                try:
+                    (self.root / kind / name).unlink()
+                except OSError:
+                    continue
+                purged_resume.append(f"{kind}/{name}")
         return {"root": str(self.root), "quarantined": quarantined,
-                "purged_tmp": purged, "purged_parts": purged_parts}
+                "purged_tmp": purged, "purged_parts": purged_parts,
+                "purged_resume": purged_resume,
+                "kept_resumable": scan["resumable"]}
 
     def clear(self) -> dict:
         """Delete every artifact (including quarantine, locks and temp
@@ -1047,13 +1265,7 @@ class ChunkedRenderReader:
         return self._load_block(self.parts[index]["name"], index)
 
     def _load_block(self, name: str, index: int) -> FragmentBlock:
-        trace = traceio.load_trace(str(self._root / "traces" / name))
-        return FragmentBlock(
-            texture_id=trace.texture_id, level=trace.level,
-            tu=trace.tu, tv=trace.tv,
-            tu_raw=trace.tu_raw, tv_raw=trace.tv_raw,
-            kind=trace.kind, n_fragments=trace.n_fragments,
-            x=trace.x, y=trace.y, index=index)
+        return load_part_block(self._root, name, index)
 
     def __iter__(self):
         for index in range(self.n_parts):

@@ -157,6 +157,10 @@ class Engine:
     def __init__(self, store: Optional[ArtifactStore] = None):
         self.store = store if store is not None else ArtifactStore()
         self.last_warm_report: Optional[WarmReport] = None
+        #: Aggregated recovery report of the last pipelined run
+        #: (:class:`~repro.engine.pipelined.StreamReport`), ``None``
+        #: when the last run did not pipeline.
+        self.last_stream_report = None
         self._scenes = {}
         self._renders = {}
         self._placements = {}
@@ -334,6 +338,7 @@ class Engine:
             self.last_warm_report = warm_report
         rows = []
         audit_reports = []
+        stream_reports = []
         for trace_spec in experiment.trace_specs():
             for layout_spec in experiment.layouts:
                 if streaming:
@@ -341,9 +346,15 @@ class Engine:
                                             chunk_size=chunk_size,
                                             shards=shards,
                                             stream_workers=stream_workers)
+                    # Per-run recovery accounting: the memoized
+                    # StreamedProfiles would otherwise re-report a
+                    # previous run's recoveries.
+                    streams.stream_report = None
                     # One pass over the blocks computes the whole
                     # grid's profiles (instead of one pass per pair).
                     streams.prefetch(_profile_pairs(experiment))
+                    if getattr(streams, "stream_report", None) is not None:
+                        stream_reports.append(streams.stream_report)
                     if audit_parts:
                         audit_reports.append(streams.audit(
                             _profile_pairs(experiment),
@@ -355,8 +366,16 @@ class Engine:
                         rows.extend(self._sweep_sizes(
                             trace_spec, layout_spec, streams, line_size,
                             assoc, experiment.cache_sizes, kernel))
+        stream_report = None
+        if stream_reports:
+            from .pipelined import StreamReport
+            stream_report = StreamReport()
+            for partial in stream_reports:
+                stream_report.absorb(partial)
+        self.last_stream_report = stream_report
         return ExperimentResult(spec=experiment, rows=rows,
                                 warm_report=warm_report,
+                                stream_report=stream_report,
                                 audit_reports=tuple(audit_reports))
 
     def _sweep_sizes(self, trace_spec, layout_spec, streams, line_size,
@@ -528,6 +547,10 @@ class ExperimentResult:
     spec: ExperimentSpec
     rows: list
     warm_report: Optional[WarmReport] = field(default=None)
+    #: Aggregated :class:`~repro.engine.pipelined.StreamReport` when
+    #: the run used pipelined streaming (``stream_workers >= 2``);
+    #: ``None`` for serial/sharded runs.
+    stream_report: object = field(default=None)
     #: One :class:`~repro.engine.streaming.StreamAuditReport` per
     #: streamed (trace, layout) pair when ``audit_parts`` was set.
     audit_reports: tuple = ()

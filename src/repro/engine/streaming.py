@@ -177,6 +177,10 @@ class StreamedProfiles:
         self._set_profiles = {}
         self._scene = None
         self._placements = None
+        #: Recovery observability: attached/updated by the pipelined
+        #: fold (:class:`~repro.engine.pipelined.StreamReport`); stays
+        #: ``None`` when every fold ran serially and undisturbed.
+        self.stream_report = None
 
     # -- TraceStreams duck interface --------------------------------------
 
@@ -259,6 +263,9 @@ class StreamedProfiles:
             try:
                 return pipelined.fold_pipelined(self, pairs)
             except pipelined.PipelineError as fault:
+                report = pipelined._report_of(self)
+                report.fallbacks += 1
+                report.note(f"serial fallback: {fault}")
                 warnings.warn(
                     f"pipelined streaming fold failed ({fault}); "
                     "falling back to the serial streaming path",

@@ -147,6 +147,30 @@ def restamp(store, kind: str, digest: str, suffix: str) -> None:
     sidecar.write_text(json.dumps(meta, indent=1))
 
 
+@contextmanager
+def fault_plan(plan: str, directory=None):
+    """Arm the deterministic chaos harness for the duration: set
+    ``REPRO_FAULT_PLAN`` (and ``REPRO_FAULT_DIR``, needed by
+    ``scope=once`` directives to claim their cross-process marker).
+
+    Arm *before* the stream pool spawns -- workers read the plan from
+    the environment they inherit at fork."""
+    saved = {key: os.environ.get(key)
+             for key in ("REPRO_FAULT_PLAN", "REPRO_FAULT_DIR")}
+    os.environ["REPRO_FAULT_PLAN"] = plan
+    if directory is not None:
+        Path(directory).mkdir(parents=True, exist_ok=True)
+        os.environ["REPRO_FAULT_DIR"] = str(directory)
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
 def payload_files(store, kind: str):
     """The payload files (non-sidecar, non-tmp) of one artifact kind."""
     directory = Path(store.root) / kind

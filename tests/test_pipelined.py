@@ -216,6 +216,14 @@ class TestFallbacks:
         assert rows(ram) == rows(piped)
         scan = store.verify()
         assert scan["clean"] and scan["bad"] == 0
+        # Leak check: every shm segment the fold created must be gone
+        # once the pool shuts down (tracked in-flight ones included).
+        shutdown_stream_pool()
+        shm_root = "/dev/shm"
+        if os.path.isdir(shm_root):
+            leaked = [name for name in os.listdir(shm_root)
+                      if name.startswith(f"repro{os.getpid()}s")]
+            assert leaked == []
 
     def test_store_transport_bit_identical(self, tmp_path, monkeypatch):
         # Forcing the part-file transport exercises the readiness-

@@ -207,6 +207,7 @@ class TestStoreEdgeCases:
         assert store.verify()["clean"]
         assert store.repair() == {"root": str(store.root),
                                   "quarantined": [], "purged_tmp": [],
-                                  "purged_parts": []}
+                                  "purged_parts": [], "purged_resume": [],
+                                  "kept_resumable": 0}
         cleared = store.clear()
         assert cleared["total_files"] == 0

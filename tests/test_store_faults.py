@@ -502,3 +502,143 @@ class TestCacheCLIVerifyRepair:
         assert main(["cache", "verify", "--dir", str(tmp_path)]) == 0
         assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
         assert "quarantine" in capsys.readouterr().out
+
+
+class TestResumableParts:
+    """verify/repair on a store holding an interrupted pipelined run:
+    recorded strided parts are *resumable* -- pending inside the grace
+    window, kept (never quarantined or purged) beyond it -- while
+    unrecorded strided parts age into ordinary orphan litter."""
+
+    def interrupted_run(self, root):
+        """The wreckage of a pipelined cold render killed mid-run:
+        range 0 completed (strided parts + completion record), the next
+        range's part landed without a record (its worker died before
+        finishing), the plan is on disk, the sidecar never published."""
+        from repro.engine.pipelined import PART_STRIDE
+        from repro.pipeline.trace import iter_blocks
+
+        trace = Engine(store=ArtifactStore(root / "scratch")).render(
+            SPEC).trace
+        blocks = list(iter_blocks(trace, max(1, trace.n_accesses // 4)))
+        assert len(blocks) >= 3
+        store = ArtifactStore(root / "store")
+        store.save_stream_plan(SPEC, {"n_ranges": 2, "chunk_size": 4096,
+                                      "part_stride": PART_STRIDE,
+                                      "created_at": 0.0})
+        writer = store.open_render_writer(SPEC, part_base=0)
+        writer.append(blocks[0])
+        writer.append(blocks[1])
+        envelopes, complete, _ = writer.finish_parts()
+        assert complete and len(envelopes) == 2
+        store.save_range_record(SPEC, 0, {
+            "range": 0, "envelopes": envelopes, "complete": True,
+            "totals": {}, "n_blocks": len(envelopes)})
+        unrecorded = store.open_render_writer(SPEC, part_base=PART_STRIDE)
+        unrecorded.append(blocks[2])
+        orphan_envelopes, _, _ = unrecorded.finish_parts()
+        recorded = [entry["name"] for entry in envelopes]
+        return store, recorded, [entry["name"]
+                                 for entry in orphan_envelopes]
+
+    def test_fresh_parts_report_pending_not_damage(self, tmp_path):
+        store, recorded, orphaned = self.interrupted_run(tmp_path)
+        scan = store.verify()
+        traces = scan["kinds"]["traces"]
+        assert scan["bad"] == 0
+        assert traces["pending"] == len(recorded) + len(orphaned)
+        assert traces["resumable"] == [] and traces["orphaned_parts"] == []
+        # repair within the grace window touches nothing.
+        repaired = store.repair()
+        assert repaired["quarantined"] == []
+        assert repaired["purged_parts"] == []
+        for name in recorded + orphaned:
+            assert (Path(store.root) / "traces" / name).exists()
+
+    def test_stale_recorded_parts_resumable_not_quarantined(self, tmp_path):
+        store, recorded, orphaned = self.interrupted_run(tmp_path)
+        for name in recorded + orphaned:
+            faults.backdate(Path(store.root) / "traces" / name,
+                            2 * artifacts_module.TORN_GRACE_S)
+        scan = store.verify()
+        traces = scan["kinds"]["traces"]
+        assert scan["bad"] == 0 and scan["clean"]
+        assert sorted(traces["resumable"]) == sorted(recorded)
+        assert traces["orphaned_parts"] == orphaned
+        assert store.stats()["resumable_parts"] == len(recorded)
+
+        repaired = store.repair()
+        assert repaired["quarantined"] == []
+        assert repaired["kept_resumable"] == len(recorded)
+        assert repaired["purged_resume"] == []
+        assert sorted(repaired["purged_parts"]) == sorted(
+            f"traces/{name}" for name in orphaned)
+        for name in recorded:  # parts and their record both survive
+            assert (Path(store.root) / "traces" / name).exists()
+        assert store.load_range_records(SPEC)
+        assert store.load_stream_plan(SPEC) is not None
+
+    def test_corrupt_recorded_part_is_not_resumable(self, tmp_path):
+        store, recorded, orphaned = self.interrupted_run(tmp_path)
+        for name in recorded + orphaned:
+            faults.backdate(Path(store.root) / "traces" / name,
+                            2 * artifacts_module.TORN_GRACE_S)
+        corrupt = Path(store.root) / "traces" / recorded[0]
+        faults.flip_bit(corrupt)  # rewriting refreshes mtime...
+        faults.backdate(corrupt, 2 * artifacts_module.TORN_GRACE_S)
+        scan = store.verify()
+        traces = scan["kinds"]["traces"]
+        # The record's envelope check fails, so the whole range falls
+        # back to orphan litter instead of resuming corrupt data.
+        assert traces["resumable"] == []
+        assert sorted(traces["orphaned_parts"]) == sorted(
+            recorded + orphaned)
+
+    def test_resume_metadata_purged_once_artifact_published(self, tmp_path):
+        from repro.engine import fingerprint
+        from repro.pipeline.trace import iter_blocks
+
+        trace = Engine(store=ArtifactStore(tmp_path / "scratch")).render(
+            SPEC).trace
+        store = ArtifactStore(tmp_path / "store")
+        writer = store.open_render_writer(SPEC)
+        for block in iter_blocks(trace, max(1, trace.n_accesses // 3)):
+            writer.append(block)
+        assert writer.finish({"n_triangles_submitted": 1,
+                              "n_triangles_rasterized": 1})
+        # Leftover resume metadata from the run that published.
+        store.save_stream_plan(SPEC, {"n_ranges": 1, "chunk_size": 4096,
+                                      "part_stride": 100_000,
+                                      "created_at": 0.0})
+        store.save_range_record(SPEC, 0, {"range": 0, "envelopes": [],
+                                          "complete": True, "totals": {},
+                                          "n_blocks": 0})
+        digest = fingerprint(SPEC.payload())
+        for path in (Path(store.root) / "traces").glob(
+                digest + ".*.json"):
+            if ".plan." in path.name or ".done." in path.name:
+                faults.backdate(path, 2 * artifacts_module.TORN_GRACE_S)
+        scan = store.verify()
+        assert len(scan["kinds"]["traces"]["stale_resume"]) == 2
+        repaired = store.repair()
+        assert len(repaired["purged_resume"]) == 2
+        assert store.load_stream_plan(SPEC) is None
+        assert store.load_range_records(SPEC) == {}
+        assert store.verify()["clean"]
+
+    def test_cache_cli_surfaces_resumable_parts(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store, recorded, orphaned = self.interrupted_run(tmp_path)
+        for name in recorded + orphaned:
+            faults.backdate(Path(store.root) / "traces" / name,
+                            2 * artifacts_module.TORN_GRACE_S)
+        root = str(store.root)
+        assert main(["cache", "verify", "--dir", root]) == 0
+        out = capsys.readouterr().out
+        assert "resumable" in out
+        assert main(["cache", "repair", "--dir", root]) == 0
+        out = capsys.readouterr().out
+        assert f"kept {len(recorded)} resumable part(s)" in out
+        assert main(["cache", "stats", "--dir", root]) == 0
+        assert "resumable" in capsys.readouterr().out
