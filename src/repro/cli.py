@@ -467,6 +467,18 @@ def _cache(args) -> int:
         if report["quarantined"]:
             print(f"note: {report['quarantined']} file(s) in quarantine/ "
                   "(see the *.reason.json records alongside them)")
+        memory = report["memory"]
+        state = "" if memory["enabled"] else " [disabled]"
+        print(f"memory tier (T0): {memory['entries']} entries, "
+              f"{memory['bytes'] / 2**20:.2f} MB of "
+              f"{memory['max_bytes'] / 2**20:.0f} MB, "
+              f"hit rate {memory['hit_rate']:.0%} "
+              f"({memory['hits']} hits / {memory['misses']} misses)"
+              f"{state}")
+        digests = report["digest_cache"]
+        print(f"digest cache: {digests['entries']} entries, "
+              f"hit rate {digests['hit_rate']:.0%} (verify-once loads)")
+        print(_remote_line(report["remote"]))
     elif args.action == "verify":
         report = store.verify()
         rows = [[kind, entry["ok"], len(entry["bad"]), entry["pending"],
@@ -490,6 +502,7 @@ def _cache(args) -> int:
                   "interrupted pipelined run (verified against their "
                   "completion records); the next cold fold resumes from "
                   "them")
+        print(_remote_line(report["remote"]))
         if report["bad"]:
             print(f"{report['bad']} corrupt artifact(s); "
                   "run `repro cache repair` to quarantine them")
@@ -508,11 +521,27 @@ def _cache(args) -> int:
         for name in report["quarantined"]:
             print(f"  quarantined {name}")
     else:  # clear
-        report = store.clear()
-        print(f"cleared {report['total_files']} artifacts "
-              f"({report['total_bytes'] / 2**20:.2f} MB) "
-              f"from {report['root']}")
+        tier = getattr(args, "tier", None)
+        report = store.clear(tier=tier)
+        if tier == "memory":
+            memory = report["memory"]
+            print(f"cleared {memory['entries']} in-memory tier entries "
+                  f"({memory['bytes'] / 2**20:.2f} MB) and the digest "
+                  f"cache; disk artifacts at {report['root']} kept")
+        else:
+            scope = " (disk tier only)" if tier == "disk" else ""
+            print(f"cleared {report['total_files']} artifacts "
+                  f"({report['total_bytes'] / 2**20:.2f} MB) "
+                  f"from {report['root']}{scope}")
     return 0
+
+
+def _remote_line(remote: dict) -> str:
+    """One-line remote-tier (T2) status for cache stats/verify."""
+    if not remote["configured"]:
+        return "remote tier (T2): not configured (set REPRO_STORE_REMOTE)"
+    state = "reachable" if remote["reachable"] else "UNREACHABLE"
+    return f"remote tier (T2): {remote['root']} [{state}]"
 
 
 def _scenes(args) -> int:
@@ -643,6 +672,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "envelope (exit 1 on corruption); repair = "
                             "quarantine corrupt artifacts and purge stale "
                             "temp litter; clear = delete all")
+    cache.add_argument("--tier", choices=["memory", "disk"], default=None,
+                       help="scope `clear` to one tier: the in-process "
+                            "memory tier (T0 + digest cache) or the "
+                            "on-disk artifact directory (default: both)")
     cache.add_argument("--dir", default=None,
                        help="store directory (default: REPRO_CACHE_DIR or "
                             "benchmarks/.cache)")

@@ -35,6 +35,15 @@ from .artifacts import (
     profile_payload,
     set_profile_payload,
 )
+from .tiers import (
+    DigestCache,
+    MemoryTier,
+    RemoteTier,
+    clear_process_caches,
+    digest_cache,
+    memory_tier,
+    remote_tier,
+)
 from .spec import (
     ExperimentSpec,
     TraceSpec,
@@ -77,6 +86,13 @@ __all__ = [
     "fingerprint",
     "profile_payload",
     "set_profile_payload",
+    "DigestCache",
+    "MemoryTier",
+    "RemoteTier",
+    "clear_process_caches",
+    "digest_cache",
+    "memory_tier",
+    "remote_tier",
     "ExperimentSpec",
     "TraceSpec",
     "layout_from_spec",

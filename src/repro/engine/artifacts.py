@@ -61,6 +61,23 @@ next read.  Its defenses:
   EROFS, EACCES, ...) demotes the store: one warning, writes become
   no-ops, reads keep working (a warm read-only store still serves
   artifacts) and callers fall back to their in-memory memos.
+
+Tiered reads
+------------
+The directory above is tier T1 of a read-through hierarchy (see
+:mod:`~repro.engine.tiers`).  Loads consult the process-wide
+in-memory tier (T0) first -- deserialized artifacts in a byte-bounded
+LRU, revalidated against the payload's ``(size, mtime_ns, inode)`` on
+every hit -- and fill it on a verified disk read; integrity
+verification consults a verify-once digest cache keyed the same way,
+so an unchanged file is SHA-256-hashed at most once per process.  A
+local miss can read through to an optional shared remote tier (T2,
+``REPRO_STORE_REMOTE``): payload and sidecar are copied down with
+atomic renames and then verified exactly like local artifacts, so
+remote corruption quarantines locally and falls back to recompute;
+local publishes are copied back up best-effort.  None of this changes
+fingerprints or bytes -- every tier serves the same checksummed
+envelope format.
 """
 
 from __future__ import annotations
@@ -74,6 +91,7 @@ import shutil
 import tempfile
 import time
 import warnings
+import zipfile
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Optional
@@ -90,6 +108,7 @@ from ..core.stackdist import DistanceProfile
 from ..pipeline import traceio
 from ..pipeline.renderer import RenderResult
 from ..pipeline.trace import FragmentBlock, concat_blocks
+from . import tiers
 from .spec import TraceSpec
 
 #: Stamped into every fingerprint; bump when any pipeline stage changes
@@ -248,12 +267,30 @@ def _atomic_write(path: Path, write) -> None:
 
 
 def _file_digest(path: Path) -> str:
-    """SHA-256 of a file's bytes (streamed)."""
-    digest = hashlib.sha256()
-    with open(path, "rb") as handle:
-        for block in iter(lambda: handle.read(1 << 20), b""):
-            digest.update(block)
-    return digest.hexdigest()
+    """SHA-256 of a file's bytes (:func:`hashlib.file_digest` on
+    Python >= 3.11, streamed 1 MiB blocks otherwise)."""
+    return tiers.file_digest(path)
+
+
+def _cached_digest(path: Path) -> str:
+    """SHA-256 of a file's bytes through the process-wide verify-once
+    cache: an unchanged file (same size/mtime_ns/inode) is hashed at
+    most once per process."""
+    return tiers.digest_cache().digest(path)
+
+
+def _object_nbytes(value) -> int:
+    """Rough deserialized footprint of an artifact for the T0 byte
+    budget: its numpy array fields plus a small fixed overhead."""
+    total = 256
+    try:
+        fields = vars(value).values()
+    except TypeError:
+        return total
+    for field in fields:
+        if isinstance(field, np.ndarray):
+            total += field.nbytes
+    return total
 
 
 def load_part_block(root, name: str, index: int) -> FragmentBlock:
@@ -304,6 +341,69 @@ class ArtifactStore:
     def _path(self, kind: str, digest: str, suffix: str) -> Path:
         return self.root / kind / (digest + suffix)
 
+    # -- process tiers (T0 memory, T2 remote) ----------------------------
+
+    def _memory_get(self, kind: str, digest: str):
+        """T0 lookup: the deserialized artifact, or ``tiers.MISS``."""
+        return tiers.memory_tier().get((str(self.root), kind, digest))
+
+    def _memory_put(self, kind: str, digest: str, suffix: str, value,
+                    nbytes: int) -> None:
+        """T0 fill/write-through, anchored to the payload file AND the
+        ``.json`` sidecar (one file, for chunked artifacts) whose stat
+        identities revalidate the entry on every later hit -- so a
+        rewrite of either reads as a miss, same as the disk tier."""
+        tiers.memory_tier().put((str(self.root), kind, digest),
+                                (self._path(kind, digest, suffix),
+                                 self._path(kind, digest, ".json")),
+                                value, nbytes)
+
+    def _remote(self) -> Optional[tiers.RemoteTier]:
+        """The configured T2 (re-read from the environment, so tests
+        and benchmark subprocesses can flip it per run)."""
+        return tiers.remote_tier()
+
+    def _fetch_remote(self, kind: str, digest: str, suffix: str) -> bool:
+        """Read-through: copy a remote artifact (payload or chunked
+        parts, then the sidecar) into the local tier.  The caller
+        re-runs the normal local verification afterwards, so corrupt
+        remote bytes quarantine locally and read as a miss."""
+        remote = self._remote()
+        if remote is None or self._demoted:
+            return False
+        sidecar_name = digest + ".json"
+        try:
+            meta = json.loads(
+                (remote.root / kind / sidecar_name).read_text())
+        except (OSError, ValueError):
+            return False
+        if isinstance(meta, dict) and isinstance(meta.get("parts"), list):
+            names = [entry.get("name") for entry in meta["parts"]
+                     if isinstance(entry, dict)]
+            if not all(isinstance(name, str) and os.sep not in name
+                       and name.startswith(digest) for name in names):
+                return False
+        else:
+            names = [digest + suffix]
+        local_dir = self.root / kind
+        for name in names:
+            if not remote.fetch(kind, name, local_dir):
+                return False
+        if not remote.fetch(kind, sidecar_name, local_dir):
+            return False
+        self._note_recovery(
+            f"fetched {kind}/{digest[:12]}… from the remote tier")
+        return True
+
+    def _publish_remote(self, kind: str, digest: str, suffix: str) -> None:
+        """Write-back: best-effort copy of a locally published
+        artifact (payload before sidecar) up to T2."""
+        remote = self._remote()
+        if remote is None:
+            return
+        remote.publish(kind, [self._path(kind, digest, suffix),
+                              self._path(kind, digest, ".json")])
+
     # -- degraded mode ---------------------------------------------------
 
     @property
@@ -339,11 +439,15 @@ class ArtifactStore:
                        key_payload: dict, extra: Optional[dict] = None) -> None:
         """Publish the ``.json`` sidecar: human-readable key, integrity
         envelope of the just-written payload, and kind-specific meta."""
+        digest_value = _file_digest(payload_path)
+        # The publisher just hashed the final payload: seed the
+        # verify-once cache so the first load costs one stat().
+        tiers.digest_cache().record(payload_path, digest_value)
         meta = {
             "key": key_payload,
             "envelope": {
                 "kind": kind,
-                "digest": _file_digest(payload_path),
+                "digest": digest_value,
                 "nbytes": payload_path.stat().st_size,
             },
         }
@@ -388,7 +492,7 @@ class ArtifactStore:
             raise CorruptArtifact(
                 f"size mismatch ({nbytes} bytes on disk, "
                 f"{envelope.get('nbytes')} recorded -- truncated or torn)")
-        if _file_digest(path) != envelope.get("digest"):
+        if _cached_digest(path) != envelope.get("digest"):
             raise CorruptArtifact(
                 "content digest mismatch (bit rot or foreign payload)")
         return meta
@@ -411,7 +515,7 @@ class ArtifactStore:
                 raise CorruptArtifact(
                     f"part {name}: size mismatch ({nbytes} bytes on disk, "
                     f"{entry.get('nbytes')} recorded -- truncated or torn)")
-            if _file_digest(part) != entry.get("digest"):
+            if _cached_digest(part) != entry.get("digest"):
                 raise CorruptArtifact(
                     f"part {name}: content digest mismatch "
                     "(bit rot or foreign payload)")
@@ -436,7 +540,8 @@ class ArtifactStore:
         path = self._path(kind, digest, suffix)
         sidecar = self._path(kind, digest, ".json")
         if not path.exists() and not sidecar.exists():
-            return None
+            if not self._fetch_remote(kind, digest, suffix):
+                return None
         try:
             meta = self._verify_envelope(kind, path, sidecar)
         except CorruptArtifact as fault:
@@ -461,6 +566,7 @@ class ArtifactStore:
             for candidate in sorted((self.root / kind).glob(digest + ".*")):
                 if ".tmp" in candidate.name:
                     continue
+                tiers.invalidate_path(candidate)
                 os.replace(candidate, target_dir / candidate.name)
                 moved.append(candidate.name)
             record = {"kind": kind, "digest": digest, "reason": reason,
@@ -528,12 +634,16 @@ class ArtifactStore:
         available from a fresh render.
         """
         digest = fingerprint(spec.payload())
+        cached = self._memory_get("traces", digest)
+        if cached is not tiers.MISS:
+            return cached
         checked = self._open_verified("traces", digest, ".npz")
         if checked is None:
             return None
         path, meta = checked
+        chunked = isinstance(meta.get("parts"), list)
         try:
-            if isinstance(meta.get("parts"), list):
+            if chunked:
                 # Chunked representation: materialize for callers that
                 # want the whole trace (streaming consumers iterate
                 # open_render_blocks instead and never do this).
@@ -545,17 +655,24 @@ class ArtifactStore:
                 trace = traceio.load_trace(str(path))
             submitted = int(meta["n_triangles_submitted"])
             rasterized = int(meta["n_triangles_rasterized"])
-        except (ValueError, OSError, KeyError, TypeError) as fault:
+        except (ValueError, OSError, KeyError, TypeError,
+                zipfile.BadZipFile) as fault:
             self.quarantine("traces", digest,
                             f"undecodable trace artifact ({fault!r})")
             return None
-        return RenderResult(
+        result = RenderResult(
             trace=trace,
             framebuffer=None,
             n_fragments=trace.n_fragments,
             n_triangles_submitted=submitted,
             n_triangles_rasterized=rasterized,
         )
+        # Chunked artifacts anchor T0 revalidation on the sidecar (the
+        # one file whose identity covers the whole part set).
+        self._memory_put("traces", digest,
+                         ".json" if chunked else ".npz",
+                         result, _object_nbytes(trace))
+        return result
 
     def save_render(self, spec: TraceSpec, result: RenderResult) -> Path:
         digest = fingerprint(spec.payload())
@@ -568,7 +685,8 @@ class ArtifactStore:
                 "n_triangles_submitted": int(result.n_triangles_submitted),
                 "n_triangles_rasterized": int(result.n_triangles_rasterized),
             })
-        self._guarded_write(publish)
+        if self._guarded_write(publish):
+            self._publish_remote("traces", digest, ".npz")
         return path
 
     # -- chunked (streaming) traces --------------------------------------
@@ -608,7 +726,17 @@ class ArtifactStore:
             _atomic_write(
                 self._path("traces", digest, ".json"),
                 lambda temp: Path(temp).write_text(json.dumps(meta, indent=1)))
-        return self._guarded_write(publish)
+        published = self._guarded_write(publish)
+        if published:
+            remote = self._remote()
+            if remote is not None:
+                # Every part before the sidecar: a torn upload can
+                # never verify as a complete remote artifact.
+                remote.publish("traces", [
+                    self.root / "traces" / entry["name"]
+                    for entry in meta["parts"]
+                ] + [self._path("traces", digest, ".json")])
+        return published
 
     def renumber_parts(self, spec: TraceSpec, parts: list):
         """Rename strided part files (``part_base`` writers) into the
@@ -753,16 +881,28 @@ class ArtifactStore:
 
     def load_addresses(self, payload: dict) -> Optional[np.ndarray]:
         digest = fingerprint(payload)
+        cached = self._memory_get("addresses", digest)
+        if cached is not tiers.MISS:
+            return cached
         checked = self._open_verified("addresses", digest, ".npy")
         if checked is None:
             return None
         path, _ = checked
         try:
-            return np.load(path)
+            # A read-only map instead of a copy: every consumer derives
+            # new arrays (line reduction, collapses) and never writes
+            # back, so warm loads cost page-ins, not a full decompress.
+            if tiers.mmap_enabled():
+                addresses = np.load(path, mmap_mode="r")
+            else:
+                addresses = np.load(path)
         except (ValueError, OSError) as fault:
             self.quarantine("addresses", digest,
                             f"undecodable address stream ({fault!r})")
             return None
+        self._memory_put("addresses", digest, ".npy", addresses,
+                         addresses.nbytes)
+        return addresses
 
     def save_addresses(self, payload: dict, addresses: np.ndarray) -> Path:
         digest = fingerprint(payload)
@@ -771,13 +911,19 @@ class ArtifactStore:
         def publish():
             _atomic_write(path, lambda temp: np.save(temp, addresses))
             self._write_sidecar("addresses", digest, path, payload)
-        self._guarded_write(publish)
+        if self._guarded_write(publish):
+            self._memory_put("addresses", digest, ".npy", addresses,
+                             addresses.nbytes)
+            self._publish_remote("addresses", digest, ".npy")
         return path
 
     # -- stack-distance profiles -----------------------------------------
 
     def load_profile(self, payload: dict) -> Optional[DistanceProfile]:
         digest = fingerprint(payload)
+        cached = self._memory_get("profiles", digest)
+        if cached is not tiers.MISS:
+            return cached
         checked = self._open_verified("profiles", digest, ".npz")
         if checked is None:
             return None
@@ -786,19 +932,26 @@ class ArtifactStore:
             with np.load(path) as archive:
                 counts = archive["counts"]
                 cold, duplicate_hits = archive["meta"].tolist()
-        except (ValueError, OSError, KeyError) as fault:
+        except (ValueError, OSError, KeyError,
+                zipfile.BadZipFile) as fault:
             self.quarantine("profiles", digest,
                             f"undecodable profile ({fault!r})")
             return None
-        return DistanceProfile(counts=counts, cold=int(cold),
-                               duplicate_hits=int(duplicate_hits))
+        profile = DistanceProfile(counts=counts, cold=int(cold),
+                                  duplicate_hits=int(duplicate_hits))
+        self._memory_put("profiles", digest, ".npz", profile,
+                         counts.nbytes + 64)
+        return profile
 
     def save_profile(self, payload: dict, profile: DistanceProfile) -> Path:
         digest = fingerprint(payload)
         path = self._path("profiles", digest, ".npz")
 
         def write(temp):
-            np.savez_compressed(
+            # Stored (uncompressed) npz, like the chunked parts: the
+            # envelope digest already guards integrity, and skipping
+            # deflate keeps both publish and warm load IO-bound.
+            np.savez(
                 temp, counts=profile.counts,
                 meta=np.array([profile.cold, profile.duplicate_hits],
                               dtype=np.int64))
@@ -806,13 +959,19 @@ class ArtifactStore:
         def publish():
             _atomic_write(path, write)
             self._write_sidecar("profiles", digest, path, payload)
-        self._guarded_write(publish)
+        if self._guarded_write(publish):
+            self._memory_put("profiles", digest, ".npz", profile,
+                             profile.counts.nbytes + 64)
+            self._publish_remote("profiles", digest, ".npz")
         return path
 
     # -- per-set stack-distance profiles ---------------------------------
 
     def load_set_profile(self, payload: dict) -> Optional[SetDistanceProfile]:
         digest = fingerprint(payload)
+        cached = self._memory_get("set_profiles", digest)
+        if cached is not tiers.MISS:
+            return cached
         checked = self._open_verified("set_profiles", digest, ".npz")
         if checked is None:
             return None
@@ -822,13 +981,17 @@ class ArtifactStore:
                 counts = archive["counts"]
                 line_size, n_sets, cold, duplicate_hits = \
                     archive["meta"].tolist()
-        except (ValueError, OSError, KeyError) as fault:
+        except (ValueError, OSError, KeyError,
+                zipfile.BadZipFile) as fault:
             self.quarantine("set_profiles", digest,
                             f"undecodable per-set profile ({fault!r})")
             return None
-        return SetDistanceProfile(
+        profile = SetDistanceProfile(
             line_size=int(line_size), n_sets=int(n_sets), counts=counts,
             cold=int(cold), duplicate_hits=int(duplicate_hits))
+        self._memory_put("set_profiles", digest, ".npz", profile,
+                         counts.nbytes + 64)
+        return profile
 
     def save_set_profile(self, payload: dict,
                          profile: SetDistanceProfile) -> Path:
@@ -836,7 +999,8 @@ class ArtifactStore:
         path = self._path("set_profiles", digest, ".npz")
 
         def write(temp):
-            np.savez_compressed(
+            # Stored (uncompressed) npz -- see save_profile.
+            np.savez(
                 temp, counts=profile.counts,
                 meta=np.array([profile.line_size, profile.n_sets,
                                profile.cold, profile.duplicate_hits],
@@ -845,7 +1009,10 @@ class ArtifactStore:
         def publish():
             _atomic_write(path, write)
             self._write_sidecar("set_profiles", digest, path, payload)
-        self._guarded_write(publish)
+        if self._guarded_write(publish):
+            self._memory_put("set_profiles", digest, ".npz", profile,
+                             profile.counts.nbytes + 64)
+            self._publish_remote("set_profiles", digest, ".npz")
         return path
 
     # -- maintenance -----------------------------------------------------
@@ -909,11 +1076,19 @@ class ArtifactStore:
         parts reported separately -- plus orphaned ``*.tmp*`` litter,
         orphaned part files (parts no sidecar lists, counted as
         litter) and quarantined-file counts."""
+        remote = self._remote()
         report = {"root": str(self.root), "kinds": {}, "total_bytes": 0,
                   "total_files": 0, "tmp_files": 0,
                   "part_files": 0, "part_bytes": 0, "orphaned_parts": 0,
                   "resumable_parts": 0,
-                  "quarantined": self._count_quarantined()}
+                  "quarantined": self._count_quarantined(),
+                  "memory": tiers.memory_tier().stats(),
+                  "digest_cache": tiers.digest_cache().stats(),
+                  "remote": {
+                      "configured": remote is not None,
+                      "root": str(remote.root) if remote else None,
+                      "reachable": remote.reachable() if remote else False,
+                  }}
         for kind in KINDS:
             payloads, sidecars, tmp_names, parts, resume = \
                 self._scan_kind(kind)
@@ -982,9 +1157,15 @@ class ArtifactStore:
         completion records cover (envelope-verified) -- the next cold
         fold resumes from them, so they are neither damage nor litter
         and :meth:`repair` keeps them."""
+        remote = self._remote()
         report = {"root": str(self.root), "kinds": {},
                   "ok": 0, "bad": 0, "pending": 0, "tmp": 0,
-                  "orphaned_parts": 0, "resumable": 0}
+                  "orphaned_parts": 0, "resumable": 0,
+                  "remote": {
+                      "configured": remote is not None,
+                      "root": str(remote.root) if remote else None,
+                      "reachable": remote.reachable() if remote else False,
+                  }}
         for kind in KINDS:
             payloads, sidecars, tmp_names, parts, resume = \
                 self._scan_kind(kind)
@@ -1095,12 +1276,25 @@ class ArtifactStore:
                 "purged_resume": purged_resume,
                 "kept_resumable": scan["resumable"]}
 
-    def clear(self) -> dict:
-        """Delete every artifact (including quarantine, locks and temp
-        litter); returns the pre-clear :meth:`stats`."""
+    def clear(self, tier: Optional[str] = None) -> dict:
+        """Delete artifacts; returns the pre-clear :meth:`stats`.
+
+        ``tier=None`` clears everything: the disk tier (including
+        quarantine, locks and temp litter) and this store's entries in
+        the process tiers.  ``tier="disk"`` touches only the on-disk
+        files; ``tier="memory"`` only drops the in-process T0 and
+        digest-cache entries, leaving disk intact."""
+        if tier not in (None, "memory", "disk"):
+            raise ValueError(f"unknown tier {tier!r} "
+                             "(expected 'memory' or 'disk')")
         report = self.stats()
-        for kind in KINDS + (QUARANTINE_DIR, LOCKS_DIR):
-            shutil.rmtree(self.root / kind, ignore_errors=True)
+        if tier in (None, "disk"):
+            for kind in KINDS + (QUARANTINE_DIR, LOCKS_DIR):
+                shutil.rmtree(self.root / kind, ignore_errors=True)
+        # Cleared disk entries could only ever read as stat-mismatch
+        # misses anyway; dropping them keeps the byte budget honest.
+        tiers.memory_tier().invalidate_store(str(self.root))
+        tiers.digest_cache().invalidate_under(self.root)
         return report
 
 
@@ -1157,9 +1351,13 @@ class ChunkedRenderWriter:
             self._complete = False
             return
         try:
+            digest_value = _file_digest(path)
+            # Hashed at publish: the writer's own warm folds (and any
+            # reader in this process) verify this part with a stat().
+            tiers.digest_cache().record(path, digest_value)
             envelope = {
                 "name": path.name,
-                "digest": _file_digest(path),
+                "digest": digest_value,
                 "nbytes": path.stat().st_size,
                 "n_accesses": int(block.n_accesses),
                 "n_fragments": int(block.n_fragments),

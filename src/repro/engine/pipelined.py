@@ -1616,7 +1616,16 @@ def _publish_assembled(store, spec, done, n_ranges) -> bool:
     totals["has_positions"] = any(
         info["totals"].get("has_positions") for info in infos)
     published = store.publish_chunked_sidecar(spec, renamed, totals)
-    if not published:
+    if published:
+        # Each part was hashed by the worker that wrote it; seeding
+        # the parent's verify-once cache from those envelopes means
+        # the first warm fold over this trace re-verifies with stats
+        # instead of re-hashing the whole artifact.
+        from . import tiers
+        for entry in renamed:
+            tiers.digest_cache().record(
+                store.root / "traces" / entry["name"], entry["digest"])
+    else:
         warnings.warn(
             f"pipelined render for {spec.scene} persisted its parts but "
             "could not publish the sidecar; the next run re-renders",

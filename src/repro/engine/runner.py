@@ -78,14 +78,52 @@ def reset_render_calls() -> None:
 class StoredTraceStreams(TraceStreams):
     """:class:`TraceStreams` whose distance profiles -- fully
     associative and per-set -- round-trip through the artifact store
-    (computed once per store, not once per process)."""
+    (computed once per store, not once per process).
 
-    def __init__(self, addresses, store: Optional[ArtifactStore] = None,
+    The byte-address stream itself is lazy: pass ``loader`` instead of
+    ``addresses`` and the array is only resolved (store load, or
+    render + placement on a true miss) the first time a profile
+    actually has to be *computed*.  A pure-warm sweep -- every profile
+    store-resident -- therefore never touches the addresses artifact,
+    let alone the scene."""
+
+    def __init__(self, addresses=None, store: Optional[ArtifactStore] = None,
                  key_payload: Optional[dict] = None,
-                 kernel: str = "vectorized"):
+                 kernel: str = "vectorized", loader=None):
+        if addresses is None and loader is None:
+            raise ValueError("StoredTraceStreams needs addresses or a loader")
+        self._loader = loader
+        # The dataclass base assigns self.addresses; the property
+        # setter below routes that into _addresses.
         super().__init__(addresses, kernel=kernel)
         self._store = store
         self._key_payload = key_payload
+
+    @property
+    def addresses(self):
+        if self._addresses is None:
+            self._addresses = self._loader()
+        return self._addresses
+
+    @addresses.setter
+    def addresses(self, value):
+        self._addresses = value
+
+    def prefetch(self, pairs) -> None:
+        """Resolve every ``(line_size, n_sets)`` profile a sweep grid
+        will read, one store round-trip per *distinct* pair (memoized
+        hits are free) -- the batched-serving mirror of
+        :meth:`~repro.engine.streaming.StreamedProfiles.prefetch`.
+        Misses compute lazily off the addresses, which materialize at
+        most once for the whole batch."""
+        for line_size, n_sets in sorted({(int(line), int(sets))
+                                         for line, sets in pairs}):
+            if n_sets == 1:
+                # What miss_rate_curve and set_profile(line, 1) both
+                # read; the per-set artifact derives from it for free.
+                self.profile(line_size)
+            else:
+                self.set_profile(line_size, n_sets)
 
     def _backed(self) -> bool:
         return self._store is not None and self._key_payload is not None
@@ -241,22 +279,33 @@ class Engine:
         return self.streams(trace_spec, layout_spec).addresses
 
     def streams(self, trace_spec: TraceSpec, layout_spec) -> StoredTraceStreams:
-        """Store-backed :class:`TraceStreams` for (trace, layout)."""
+        """Store-backed :class:`TraceStreams` for (trace, layout).
+
+        The address stream resolves lazily: nothing is loaded --
+        let alone rendered -- until a profile actually needs the
+        addresses, so pure-warm sweeps (profiles store-resident) skip
+        the scene, the trace and the address artifact entirely."""
         key = (trace_spec, tuple(layout_spec))
         if key not in self._streams:
             payload = addresses_payload(trace_spec, layout_spec)
-            addresses = self.store.load_addresses(payload)
-            if addresses is None:
-                with self.store.single_flight("addresses",
-                                              fingerprint(payload)):
-                    addresses = self.store.load_addresses(payload)
-                    if addresses is None:
-                        addresses = self.trace(trace_spec).byte_addresses(
-                            self.placements(trace_spec.scene, trace_spec.scale,
-                                            layout_spec, trace_spec.time))
-                        self.store.save_addresses(payload, addresses)
+
+            def load_or_compute():
+                addresses = self.store.load_addresses(payload)
+                if addresses is None:
+                    with self.store.single_flight("addresses",
+                                                  fingerprint(payload)):
+                        addresses = self.store.load_addresses(payload)
+                        if addresses is None:
+                            addresses = self.trace(trace_spec).byte_addresses(
+                                self.placements(
+                                    trace_spec.scene, trace_spec.scale,
+                                    layout_spec, trace_spec.time))
+                            self.store.save_addresses(payload, addresses)
+                return addresses
+
             self._streams[key] = StoredTraceStreams(
-                addresses, store=self.store, key_payload=payload)
+                store=self.store, key_payload=payload,
+                loader=load_or_compute)
         return self._streams[key]
 
     def streamed(self, trace_spec: TraceSpec, layout_spec,
@@ -361,6 +410,10 @@ class Engine:
                             parts=audit_parts))
                 else:
                     streams = self.streams(trace_spec, layout_spec)
+                    # Batched grid serving: one store round-trip per
+                    # distinct (line_size, n_sets) pair up front, not
+                    # one tier walk per grid cell during assembly.
+                    streams.prefetch(_profile_pairs(experiment))
                 for line_size in experiment.line_sizes:
                     for assoc in experiment.assocs:
                         rows.extend(self._sweep_sizes(
@@ -430,8 +483,9 @@ class Engine:
         """
         import multiprocessing
 
+        pairs = tuple(sorted(_profile_pairs(experiment)))
         tasks = [(str(self.store.root), trace_spec, tuple(layout_spec),
-                  tuple(experiment.line_sizes))
+                  pairs)
                  for trace_spec, layout_spec in experiment.stream_specs()]
         report = WarmReport(tasks=len(tasks))
         pending = tasks
@@ -517,13 +571,17 @@ def _maybe_inject_warm_fault() -> None:
 
 
 def _warm_task(task) -> None:
-    """Worker: populate the shared store for one (trace, layout) pair."""
+    """Worker: populate the shared store for one (trace, layout) pair.
+
+    Warms the *whole grid's* profile pairs (fully associative and
+    per-set), so assembly in the parent is a pure tier read.  Both the
+    addresses and the scene resolve lazily: a task whose profiles are
+    all store-resident verifies a few envelopes and exits without
+    building SceneData or reading the trace."""
     _maybe_inject_warm_fault()
-    root, trace_spec, layout_spec, line_sizes = task
+    root, trace_spec, layout_spec, pairs = task
     engine = Engine(store=ArtifactStore(root))
-    streams = engine.streams(trace_spec, layout_spec)
-    for line_size in line_sizes:
-        streams.profile(line_size)
+    engine.streams(trace_spec, layout_spec).prefetch(pairs)
 
 
 @dataclass(frozen=True)

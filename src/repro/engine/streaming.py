@@ -95,15 +95,19 @@ def _fold_block_into(states: dict, addresses: np.ndarray) -> None:
 
 def _shard_fold_task(task) -> dict:
     """Pool worker: fold one contiguous part range of a chunked trace
-    into per-pair partial states (picklable, merged by the parent)."""
+    into per-pair partial states (picklable, merged by the parent).
+
+    Scene/placements and the verified reader come from the pipelined
+    module's worker memos: a forked worker inherits the parent's
+    pre-built copies (and its verify-once digest cache) copy-on-write,
+    so the shard pool pays zero scene builds and re-verifies parts
+    with stats instead of hashes."""
+    from .pipelined import _cached_placements, _cached_reader
     root, trace_spec, layout_spec, lo, hi, pairs = task
-    store = ArtifactStore(root)
-    reader = store.open_render_blocks(trace_spec)
+    reader = _cached_reader(root, trace_spec)
     if reader is None:
         raise RuntimeError("chunked trace artifact vanished under the fold")
-    scene = _build_scene(trace_spec)
-    placements = place_textures(scene.get_mipmaps(),
-                                layout_from_spec(layout_spec))
+    placements = _cached_placements(trace_spec, layout_spec)
     states = {pair: PartialSetProfile.empty(*pair) for pair in pairs}
     for index in range(lo, hi):
         _fold_block_into(states, reader.read_part(index).byte_addresses(
@@ -288,6 +292,12 @@ class StreamedProfiles:
     def _fold_sharded(self, reader, pairs) -> dict:
         import multiprocessing
 
+        if multiprocessing.get_start_method() == "fork":
+            # Build placements once in the parent before the pool
+            # forks: every worker inherits the memo copy-on-write
+            # instead of re-synthesizing the scene's textures.
+            from .pipelined import _cached_placements
+            _cached_placements(self.trace_spec, self.layout_spec)
         n_parts = len(reader)
         shards = min(self.shards, n_parts)
         bounds = np.linspace(0, n_parts, shards + 1).astype(int)

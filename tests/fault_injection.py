@@ -17,7 +17,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.engine import artifacts
+from repro.engine import artifacts, tiers
 
 
 class SimulatedKill(BaseException):
@@ -74,31 +74,48 @@ def disk_full(code: int = errno.ENOSPC):
 
 @contextmanager
 def failing_numpy_save(code: int = errno.ENOSPC):
-    """``np.save``/``np.savez_compressed`` raise ``OSError(code)``,
-    simulating the disk filling up mid-payload-write."""
-    real_save, real_savez = np.save, np.savez_compressed
+    """``np.save``/``np.savez``/``np.savez_compressed`` raise
+    ``OSError(code)``, simulating the disk filling up
+    mid-payload-write."""
+    real_save, real_savez = np.save, np.savez
+    real_savez_compressed = np.savez_compressed
 
     def boom(*args, **kwargs):
         raise OSError(code, os.strerror(code))
 
     np.save = boom
+    np.savez = boom
     np.savez_compressed = boom
     try:
         yield
     finally:
         np.save = real_save
-        np.savez_compressed = real_savez
+        np.savez = real_savez
+        np.savez_compressed = real_savez_compressed
+
+
+def _forget(path) -> None:
+    """Drop process caches that could mask on-disk tampering.
+
+    Rewriting a payload in place refreshes its mtime, but on coarse
+    filesystem clocks a same-size rewrite can land inside one mtime
+    tick and leave the T0 stat key valid.  Tamper helpers invalidate
+    explicitly so detection never depends on clock granularity."""
+    tiers.memory_tier().invalidate(None)
+    tiers.digest_cache().invalidate(str(path))
 
 
 def truncate(path, keep: int = 8) -> None:
     """Chop a payload down to its first ``keep`` bytes (torn write)."""
     path = Path(path)
     path.write_bytes(path.read_bytes()[:keep])
+    _forget(path)
 
 
 def zero(path) -> None:
     """Replace a payload with a zero-byte file."""
     Path(path).write_bytes(b"")
+    _forget(path)
 
 
 def flip_bit(path, offset: int = None) -> None:
@@ -108,6 +125,7 @@ def flip_bit(path, offset: int = None) -> None:
     index = len(data) // 2 if offset is None else offset
     data[index] ^= 0x10
     path.write_bytes(bytes(data))
+    _forget(path)
 
 
 def litter_tmp(directory, suffix: str = ".npz", age_s: float = 0.0) -> Path:
@@ -145,6 +163,8 @@ def restamp(store, kind: str, digest: str, suffix: str) -> None:
         "nbytes": payload_path.stat().st_size,
     }
     sidecar.write_text(json.dumps(meta, indent=1))
+    _forget(payload_path)
+    _forget(sidecar)
 
 
 @contextmanager
